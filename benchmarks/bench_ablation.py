@@ -1,0 +1,52 @@
+"""Ablation benches for the design choices of §3.
+
+Times the same 3-error DEDC workload under each variant: heuristic 2
+off, heuristic 3 off, pure DFS, pure BFS, and candidate-fraction
+settings — quantifying the paper's arguments for each mechanism.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import BUDGET, VECTORS
+from repro.bench.workloads import design_error_instance
+from repro.diagnose import (DiagnosisConfig, HLevel,
+                            IncrementalDiagnoser, Mode)
+
+BASE = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False, max_errors=4,
+                       time_budget=BUDGET)
+
+VARIANTS = {
+    "paper": BASE,
+    "no_h2": replace(BASE, schedule=[HLevel(h.h1, 0.0, h.h3)
+                                     for h in BASE.ladder(3)]),
+    "no_h3": replace(BASE, schedule=[HLevel(h.h1, h.h2, 0.0)
+                                     for h in BASE.ladder(3)]),
+    "dfs": replace(BASE, traversal="dfs"),
+    "bfs": replace(BASE, traversal="bfs"),
+    "candidates_5pct": replace(BASE, candidate_fraction=0.05),
+    "candidates_100pct": replace(BASE, candidate_fraction=1.0),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("name", ["r432", "r880"])
+def test_ablation_variant(benchmark, prepared_design_error, name,
+                          variant):
+    prepared = prepared_design_error[name]
+    workload, patterns = design_error_instance(prepared, 3, trial=0,
+                                               num_vectors=VECTORS)
+    config = VARIANTS[variant]
+
+    def run():
+        return IncrementalDiagnoser(prepared.netlist, workload.impl,
+                                    patterns, config).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "circuit": name,
+        "variant": variant,
+        "solved": result.found,
+        "nodes": result.stats.nodes,
+    })

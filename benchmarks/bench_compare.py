@@ -1,0 +1,42 @@
+"""Engine-vs-SAT timing on identical workloads.
+
+Not a paper table: quantifies the cost of the SAT cross-check relative
+to the simulation-based engine, per fault count.
+"""
+
+import pytest
+
+from conftest import BUDGET, VECTORS
+from repro.bench.workloads import stuck_at_instance
+from repro.diagnose import DiagnosisConfig, IncrementalDiagnoser, Mode
+from repro.diagnose.satdiag import SatDiagnoser
+
+
+@pytest.mark.parametrize("engine_kind", ["incremental", "sat"])
+@pytest.mark.parametrize("num_faults", (1, 2))
+def test_compare_engines(benchmark, prepared_stuck_at, engine_kind,
+                         num_faults):
+    prepared = prepared_stuck_at["r432"]
+    workload, patterns = stuck_at_instance(prepared, num_faults,
+                                           trial=0,
+                                           num_vectors=VECTORS)
+
+    if engine_kind == "incremental":
+        def run():
+            config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                                     max_errors=num_faults,
+                                     time_budget=BUDGET)
+            return IncrementalDiagnoser(workload.impl, prepared.netlist,
+                                        patterns, config).run()
+    else:
+        def run():
+            return SatDiagnoser(workload.impl, prepared.netlist,
+                                patterns, max_faults=num_faults,
+                                time_budget=BUDGET).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "engine": engine_kind,
+        "faults": num_faults,
+        "solutions": len(result.solutions),
+    })

@@ -1,0 +1,73 @@
+"""Micro-benchmarks for the substrate layers.
+
+Not a paper table — these guard the throughput assumptions behind the
+reproduction (bit-parallel simulation, PPSFP fault simulation, path
+trace, PODEM, area optimization).  Useful for spotting performance
+regressions when modifying the kernels.
+"""
+
+import pytest
+
+from repro.circuit import LineTable, generators
+from repro.circuit.transform import optimize_area
+from repro.diagnose import DiagnosisState, path_trace_counts
+from repro.faults import inject_stuck_at_faults
+from repro.faults.collapse import collapsed_faults
+from repro.sim import FaultSimulator, PatternSet, output_rows, simulate
+from repro.tgen.podem import Podem
+
+
+@pytest.fixture(scope="module")
+def alu():
+    return generators.alu(8)
+
+
+@pytest.fixture(scope="module")
+def patterns(alu):
+    return PatternSet.random(alu.num_inputs, 2048, seed=0)
+
+
+def test_logic_simulation_throughput(benchmark, alu, patterns):
+    result = benchmark(simulate, alu, patterns)
+    assert result.shape[0] == len(alu.gates)
+    benchmark.extra_info["gate_evals_per_call"] = \
+        len(alu.gates) * patterns.nbits
+
+
+def test_fault_simulation_throughput(benchmark, alu, patterns):
+    table = LineTable(alu)
+    faults = collapsed_faults(alu, table)[:100]
+    fsim = FaultSimulator(alu, patterns, table)
+    benchmark(lambda: [fsim.detection_mask(f) for f in faults])
+    benchmark.extra_info["faults_per_call"] = len(faults)
+
+
+def test_path_trace_throughput(benchmark, alu, patterns):
+    workload = inject_stuck_at_faults(alu, 2, seed=1)
+    device_out = output_rows(workload.impl,
+                             simulate(workload.impl, patterns))
+    state = DiagnosisState(alu, patterns, device_out)
+    counts = benchmark(path_trace_counts, state, 24, 0)
+    assert counts.sum() > 0
+
+
+def test_podem_throughput(benchmark, alu):
+    table = LineTable(alu)
+    faults = collapsed_faults(alu, table)[:40]
+    podem = Podem(alu, table, backtrack_limit=100)
+    results = benchmark(lambda: [podem.generate(f) for f in faults])
+    assert sum(1 for a, _ in results if a is not None) > 0
+
+
+def test_optimize_area_speed(benchmark):
+    circuit = generators.by_name("r7552", scale=0.35)
+    optimized = benchmark(optimize_area, circuit)
+    assert len(optimized.gates) <= len(circuit.gates)
+
+
+def test_diagnosis_state_build(benchmark, alu, patterns):
+    workload = inject_stuck_at_faults(alu, 2, seed=1)
+    device_out = output_rows(workload.impl,
+                             simulate(workload.impl, patterns))
+    state = benchmark(DiagnosisState, alu, patterns, device_out)
+    assert state.num_err >= 0

@@ -1,0 +1,37 @@
+"""Scaling with error cardinality (§1/§4 claim).
+
+The paper's headline quality: accuracy and run time "scale well with
+increasing number of errors".  This bench sweeps 1..5 injected design
+errors on a fixed circuit and records solve rate / nodes / time so the
+trend is regenerable.
+"""
+
+import pytest
+
+from conftest import BUDGET, VECTORS
+from repro.bench.workloads import design_error_instance
+from repro.diagnose import DiagnosisConfig, IncrementalDiagnoser, Mode
+
+
+@pytest.mark.parametrize("num_errors", (1, 2, 3, 4, 5))
+def test_scaling_with_error_count(benchmark, prepared_design_error,
+                                  num_errors):
+    prepared = prepared_design_error["r880"]
+    workload, patterns = design_error_instance(prepared, num_errors,
+                                               trial=0,
+                                               num_vectors=VECTORS)
+    config = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                             max_errors=num_errors + 1,
+                             time_budget=BUDGET)
+
+    def run():
+        return IncrementalDiagnoser(prepared.netlist, workload.impl,
+                                    patterns, config).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "errors_injected": num_errors,
+        "solved": result.found,
+        "nodes": result.stats.nodes,
+        "rounds": result.stats.rounds,
+    })

@@ -1,0 +1,52 @@
+"""Table 1 regeneration: exact multiple stuck-at fault diagnosis.
+
+One benchmark per (circuit, fault-count) cell of the paper's Table 1.
+Timing is the benchmark value; diagnosis resolution (# tuples, # sites,
+whether the injected set was recovered / masked) lands in
+``extra_info`` so the JSON export carries the full table row.
+
+Full averaged tables: ``python -m repro.cli table1``.
+"""
+
+import pytest
+
+from conftest import BUDGET, TABLE_CIRCUITS, VECTORS
+from repro.bench.workloads import stuck_at_instance
+from repro.diagnose import (DiagnosisConfig, IncrementalDiagnoser, Mode,
+                            matches_truth)
+
+FAULT_COUNTS = (1, 2, 3, 4)
+
+
+@pytest.mark.parametrize("num_faults", FAULT_COUNTS)
+@pytest.mark.parametrize("name", TABLE_CIRCUITS)
+def test_table1_cell(benchmark, prepared_stuck_at, name, num_faults):
+    prepared = prepared_stuck_at[name]
+    workload, patterns = stuck_at_instance(prepared, num_faults,
+                                           trial=0,
+                                           num_vectors=VECTORS)
+    config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                             max_errors=num_faults,
+                             time_budget=BUDGET)
+
+    def run():
+        engine = IncrementalDiagnoser(workload.impl, prepared.netlist,
+                                      patterns, config)
+        return engine.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "circuit": name,
+        "lines": prepared.num_lines,
+        "sequential": prepared.is_sequential,
+        "faults_injected": num_faults,
+        "tuples": len(result.solutions),
+        "sites": len(result.distinct_sites()),
+        "min_tuple_size": result.min_size,
+        "recovered": any(matches_truth(s, workload.truth)
+                         for s in result.solutions),
+        "masked": bool(result.solutions
+                       and result.min_size < num_faults),
+        "nodes": result.stats.nodes,
+        "truncated": result.stats.truncated,
+    })

@@ -1,0 +1,49 @@
+"""Table 2 regeneration: DEDC with 3 and 4 design errors.
+
+One benchmark per (circuit, error-count) cell; extra_info carries the
+paper's columns (per-execution diag/corr time, nodes, rounds) plus
+solution quality.  Full averaged tables: ``python -m repro.cli table2``.
+"""
+
+import pytest
+
+from conftest import BUDGET, TABLE_CIRCUITS, VECTORS
+from repro.bench.workloads import design_error_instance
+from repro.diagnose import DiagnosisConfig, IncrementalDiagnoser, Mode
+
+ERROR_COUNTS = (3, 4)
+
+
+@pytest.mark.parametrize("num_errors", ERROR_COUNTS)
+@pytest.mark.parametrize("name", TABLE_CIRCUITS)
+def test_table2_cell(benchmark, prepared_design_error, name, num_errors):
+    prepared = prepared_design_error[name]
+    workload, patterns = design_error_instance(prepared, num_errors,
+                                               trial=0,
+                                               num_vectors=VECTORS)
+    config = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                             max_errors=num_errors + 1,
+                             time_budget=BUDGET)
+
+    def run():
+        engine = IncrementalDiagnoser(prepared.netlist, workload.impl,
+                                      patterns, config)
+        return engine.run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result.stats
+    executions = max(1, stats.nodes)
+    benchmark.extra_info.update({
+        "circuit": name,
+        "lines": prepared.num_lines,
+        "errors_injected": num_errors,
+        "solved": result.found,
+        "solution_size": result.min_size,
+        "diag_per_execution": stats.diag_time / executions,
+        "corr_per_execution": stats.corr_time / executions,
+        "nodes": stats.nodes,
+        "rounds": stats.rounds,
+        "worst_rank": max((r.rank_position
+                           for s in result.solutions[:1]
+                           for r in s.records), default=-1),
+    })

@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harness.
+
+Scale and effort knobs come from the environment so the same files serve
+quick CI runs and full paper-style regeneration:
+
+* ``REPRO_BENCH_SCALE``   — suite size multiplier (default 0.35)
+* ``REPRO_BENCH_VECTORS`` — vectors per trial (default 768)
+* ``REPRO_BENCH_BUDGET``  — seconds per diagnosis run (default 30)
+
+The canonical paper-style tables (averaged over trials, formatted like
+the paper) are produced by ``python -m repro.cli table1`` / ``table2``;
+these pytest-benchmark files time one representative trial per cell and
+attach the resolution numbers as ``extra_info``.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.workloads import prepare_design_error, prepare_stuck_at
+from repro.circuit import generators
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+VECTORS = int(os.environ.get("REPRO_BENCH_VECTORS", "768"))
+BUDGET = float(os.environ.get("REPRO_BENCH_BUDGET", "30"))
+
+#: circuits benched per table (a representative cross-section; pass
+#: REPRO_BENCH_SCALE to resize them).
+TABLE_CIRCUITS = ("c17", "r432", "r499", "r880", "r1355", "r6288",
+                  "s27", "q510", "q1238")
+
+
+@pytest.fixture(scope="session")
+def suite_by_name():
+    circuits = {c.name: c for c in generators.benchmark_suite(SCALE)}
+    return circuits
+
+
+@pytest.fixture(scope="session")
+def prepared_stuck_at(suite_by_name):
+    return {name: prepare_stuck_at(suite_by_name[name])
+            for name in TABLE_CIRCUITS}
+
+
+@pytest.fixture(scope="session")
+def prepared_design_error(suite_by_name):
+    return {name: prepare_design_error(suite_by_name[name])
+            for name in TABLE_CIRCUITS}

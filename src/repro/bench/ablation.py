@@ -1,0 +1,101 @@
+"""Ablation studies on the design choices the paper argues for (§3).
+
+Four knobs, each motivated by a specific claim:
+
+* **heuristic 2 off** — screen corrections only for "changes something"
+  instead of the Theorem-1/h2 bit count; the paper claims the screen
+  "disqualifies the majority of inappropriate corrections".
+* **heuristic 3 off** — accept corrections regardless of how many passing
+  vectors they corrupt; the paper claims it prevents wasted exploration
+  while Example 1 shows it must not be a hard zero.
+* **traversal** — the paper's round-based BFS/DFS trade-off vs pure DFS
+  vs pure BFS (§3.3).
+* **candidate fraction** — the "top 5-20%" path-trace cut of §3.1.
+
+Each variant runs the same design-error workloads; the output compares
+success rate, nodes explored and run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..diagnose.config import DiagnosisConfig, HLevel, Mode
+from ..diagnose.engine import IncrementalDiagnoser
+from .workloads import design_error_instance, prepare_design_error
+
+
+@dataclass
+class AblationResult:
+    variant: str
+    trials: int = 0
+    solved: float = 0.0
+    nodes: float = 0.0
+    total_time: float = 0.0
+
+    def finalize(self) -> None:
+        n = max(1, self.trials)
+        self.solved /= n
+        self.nodes /= n
+        self.total_time /= n
+
+
+def _variants(base: DiagnosisConfig) -> dict:
+    """The ablation grid."""
+    no_h2 = replace(base, schedule=[HLevel(h.h1, 0.0, h.h3)
+                                    for h in base.ladder(3)])
+    no_h3 = replace(base, schedule=[HLevel(h.h1, h.h2, 0.0)
+                                    for h in base.ladder(3)])
+    no_h2_h3 = replace(base, schedule=[HLevel(h.h1, 0.0, 0.0)
+                                       for h in base.ladder(3)])
+    return {
+        "paper (rounds, h2+h3)": base,
+        "no heuristic 2": no_h2,
+        "no heuristic 3": no_h3,
+        "no screening": no_h2_h3,
+        "pure DFS": replace(base, traversal="dfs"),
+        "pure BFS": replace(base, traversal="bfs"),
+        "candidates 5%": replace(base, candidate_fraction=0.05),
+        "candidates 20%": replace(base, candidate_fraction=0.20),
+        "candidates 100%": replace(base, candidate_fraction=1.0),
+    }
+
+
+def run_ablation(circuits, num_errors: int = 3, trials: int = 3,
+                 num_vectors: int = 1024, seed: int = 0,
+                 time_budget: float | None = 30.0,
+                 variants: list | None = None) -> list[AblationResult]:
+    """Run every ablation variant on design-error workloads."""
+    base = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                           max_errors=num_errors + 1,
+                           time_budget=time_budget, seed=seed)
+    grid = _variants(base)
+    if variants is not None:
+        grid = {k: v for k, v in grid.items() if k in variants}
+    results = [AblationResult(name) for name in grid]
+    for circuit in circuits:
+        prepared = prepare_design_error(circuit)
+        for trial in range(trials):
+            workload, patterns = design_error_instance(
+                prepared, num_errors, trial, num_vectors, seed)
+            for res, (name, config) in zip(results, grid.items()):
+                engine = IncrementalDiagnoser(
+                    prepared.netlist, workload.impl, patterns, config)
+                outcome = engine.run()
+                res.trials += 1
+                res.solved += outcome.found
+                res.nodes += outcome.stats.nodes
+                res.total_time += outcome.stats.total_time
+    for res in results:
+        res.finalize()
+    return results
+
+
+def format_ablation(results: list[AblationResult]) -> str:
+    lines = ["Ablation: design-error diagnosis variants",
+             f"{'variant':<24}{'solved':>9}{'nodes':>10}{'time':>9}",
+             "-" * 52]
+    for res in results:
+        lines.append(f"{res.variant:<24}{100 * res.solved:>8.0f}%"
+                     f"{res.nodes:>10.1f}{res.total_time:>8.2f}s")
+    return "\n".join(lines)

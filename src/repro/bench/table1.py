@@ -1,0 +1,102 @@
+"""Table 1 harness: exact multiple stuck-at fault diagnosis.
+
+For every circuit and every fault count k in {1,2,3,4} the paper reports,
+averaged over trials:
+
+* ``# sites`` — distinct lines appearing in any returned tuple (what a
+  test engineer must probe),
+* ``time`` — average run time to discover one tuple,
+* ``# tuples`` — equivalent minimal fault tuples that fully explain the
+  observed behaviour.
+
+It also tracks the fault-masking rate (tuples smaller than the injected
+cardinality), which the paper reports prose-only for the sequential
+circuits (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuit.netlist import Netlist
+from ..diagnose.config import DiagnosisConfig, Mode
+from ..diagnose.engine import IncrementalDiagnoser
+from ..diagnose.report import matches_truth
+from .workloads import prepare_stuck_at, stuck_at_instance
+
+
+@dataclass
+class Table1Cell:
+    """Averages for one (circuit, fault count) cell."""
+
+    num_faults: int
+    trials: int = 0
+    sites: float = 0.0
+    tuples: float = 0.0
+    time_per_tuple: float = 0.0
+    total_time: float = 0.0
+    recovered_rate: float = 0.0   # trials where the injected set came back
+    masked_rate: float = 0.0      # trials explained by a smaller tuple
+    truncated_rate: float = 0.0
+
+
+@dataclass
+class Table1Row:
+    name: str
+    lines: int
+    sequential: bool
+    cells: dict = field(default_factory=dict)  # num_faults -> Table1Cell
+
+
+def run_circuit(circuit: Netlist, fault_counts=(1, 2, 3, 4),
+                trials: int = 5, num_vectors: int = 1024,
+                seed: int = 0, max_nodes: int = 4000,
+                time_budget: float | None = 60.0,
+                progress=None) -> Table1Row:
+    """Run the Table 1 protocol on one circuit."""
+    prepared = prepare_stuck_at(circuit)
+    row = Table1Row(prepared.name, prepared.num_lines,
+                    prepared.is_sequential)
+    for k in fault_counts:
+        cell = Table1Cell(k)
+        for trial in range(trials):
+            workload, patterns = stuck_at_instance(
+                prepared, k, trial, num_vectors, seed)
+            config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                                     max_errors=k, max_nodes=max_nodes,
+                                     time_budget=time_budget,
+                                     seed=seed + trial)
+            # Fault-modeling direction: correct netlist vs faulty device.
+            engine = IncrementalDiagnoser(workload.impl, prepared.netlist,
+                                          patterns, config)
+            result = engine.run()
+            cell.trials += 1
+            cell.sites += len(result.distinct_sites())
+            cell.tuples += len(result.solutions)
+            denom = max(1, len(result.solutions))
+            cell.time_per_tuple += result.stats.total_time / denom
+            cell.total_time += result.stats.total_time
+            cell.recovered_rate += any(
+                matches_truth(s, workload.truth)
+                for s in result.solutions)
+            cell.masked_rate += bool(result.solutions
+                                     and result.min_size < k)
+            cell.truncated_rate += result.stats.truncated
+            if progress:
+                progress(prepared.name, k, trial, result)
+        for attr in ("sites", "tuples", "time_per_tuple", "total_time",
+                     "recovered_rate", "masked_rate", "truncated_rate"):
+            setattr(cell, attr, getattr(cell, attr) / max(1, cell.trials))
+        row.cells[k] = cell
+    return row
+
+
+def run_table1(circuits, fault_counts=(1, 2, 3, 4), trials: int = 5,
+               num_vectors: int = 1024, seed: int = 0,
+               max_nodes: int = 4000,
+               time_budget: float | None = 60.0,
+               progress=None) -> list[Table1Row]:
+    """Run the full Table 1 experiment over a circuit list."""
+    return [run_circuit(c, fault_counts, trials, num_vectors, seed,
+                        max_nodes, time_budget, progress)
+            for c in circuits]

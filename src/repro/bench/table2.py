@@ -1,0 +1,110 @@
+"""Table 2 harness: DEDC with 3 and 4 design errors.
+
+The paper reports, per circuit and error count, averaged over trials:
+
+* ``diag.`` — average diagnosis time in a single execution of the
+  algorithm (path trace + heuristic 1),
+* ``corr.`` — average time to return and rank corrections in a single
+  execution (heuristics 2 & 3 + ranking),
+* ``nodes`` — total decision-tree nodes until the first valid set,
+* ``total`` — total run time.
+
+We additionally record the §4.2 claims: the rank position of the applied
+corrections inside their nodes (paper: valid corrections rank in the top
+5%) and the number of rounds used (paper: <=6 typical, 9 for the hard
+circuits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..circuit.netlist import Netlist
+from ..diagnose.config import DiagnosisConfig, Mode
+from ..diagnose.engine import IncrementalDiagnoser
+from .workloads import design_error_instance, prepare_design_error
+
+
+@dataclass
+class Table2Cell:
+    """Averages for one (circuit, error count) cell."""
+
+    num_errors: int
+    trials: int = 0
+    solved: float = 0.0
+    diag_time: float = 0.0      # per single execution (per node)
+    corr_time: float = 0.0      # per single execution (per node)
+    nodes: float = 0.0
+    rounds: float = 0.0
+    total_time: float = 0.0
+    solution_size: float = 0.0
+    worst_rank: float = 0.0     # worst rank position among applied fixes
+
+
+@dataclass
+class Table2Row:
+    name: str
+    lines: int
+    sequential: bool
+    cells: dict = field(default_factory=dict)
+
+
+def run_circuit(circuit: Netlist, error_counts=(3, 4), trials: int = 5,
+                num_vectors: int = 1024, seed: int = 0,
+                max_nodes: int = 4000,
+                time_budget: float | None = 90.0,
+                progress=None) -> Table2Row:
+    """Run the Table 2 protocol on one circuit."""
+    prepared = prepare_design_error(circuit)
+    row = Table2Row(prepared.name, prepared.num_lines,
+                    prepared.is_sequential)
+    for k in error_counts:
+        cell = Table2Cell(k)
+        for trial in range(trials):
+            workload, patterns = design_error_instance(
+                prepared, k, trial, num_vectors, seed)
+            config = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                                     max_errors=k + 1,
+                                     max_nodes=max_nodes,
+                                     time_budget=time_budget,
+                                     seed=seed + trial)
+            # Correction direction: erroneous netlist vs specification.
+            engine = IncrementalDiagnoser(prepared.netlist, workload.impl,
+                                          patterns, config)
+            result = engine.run()
+            stats = result.stats
+            executions = max(1, stats.nodes)
+            cell.trials += 1
+            cell.solved += result.found
+            cell.diag_time += stats.diag_time / executions
+            cell.corr_time += stats.corr_time / executions
+            cell.nodes += stats.nodes
+            cell.rounds += stats.rounds
+            cell.total_time += stats.total_time
+            if result.found:
+                best = result.solutions[0]
+                cell.solution_size += best.size
+                cell.worst_rank += max(
+                    (r.rank_position for r in best.records), default=0)
+            if progress:
+                progress(prepared.name, k, trial, result)
+        for attr in ("solved", "diag_time", "corr_time", "nodes",
+                     "rounds", "total_time"):
+            setattr(cell, attr, getattr(cell, attr) / max(1, cell.trials))
+        solved_trials = cell.solved * cell.trials
+        if solved_trials:
+            cell.solution_size /= solved_trials
+            cell.worst_rank /= solved_trials
+        row.cells[k] = cell
+    return row
+
+
+def run_table2(circuits, error_counts=(3, 4), trials: int = 5,
+               num_vectors: int = 1024, seed: int = 0,
+               max_nodes: int = 4000,
+               time_budget: float | None = 90.0,
+               progress=None) -> list[Table2Row]:
+    """Run the full Table 2 experiment over a circuit list."""
+    return [run_circuit(c, error_counts, trials, num_vectors, seed,
+                        max_nodes, time_budget, progress)
+            for c in circuits]

@@ -1,0 +1,84 @@
+"""Text rendering of the experiment tables, paper-style."""
+
+from __future__ import annotations
+
+from .table1 import Table1Row
+from .table2 import Table2Row
+
+
+def format_table1(rows: list[Table1Row],
+                  fault_counts=(1, 2, 3, 4)) -> str:
+    """Render Table 1: per fault count — # sites / time / # tuples."""
+    header1 = f"{'ckt':<8}{'lines':>7}"
+    header2 = f"{'':<8}{'':>7}"
+    for k in fault_counts:
+        label = f"{k} fault" + ("s" if k > 1 else "")
+        header1 += f" | {label:^26}"
+        header2 += f" | {'# sites':>8}{'time':>9}{'# tuples':>9}"
+    lines = ["Table 1: Results on Stuck-At Faults (time in sec.)",
+             header1, header2, "-" * len(header2)]
+    for row in rows:
+        line = f"{row.name:<8}{row.lines:>7}"
+        for k in fault_counts:
+            cell = row.cells.get(k)
+            if cell is None:
+                line += f" | {'-':>8}{'-':>9}{'-':>9}"
+            else:
+                line += (f" | {cell.sites:>8.1f}{cell.time_per_tuple:>9.2f}"
+                         f"{cell.tuples:>9.1f}")
+        lines.append(line)
+    if rows:
+        avg = f"{'Average':<8}{'':>7}"
+        for k in fault_counts:
+            cells = [r.cells[k] for r in rows if k in r.cells]
+            if not cells:
+                avg += f" | {'-':>8}{'-':>9}{'-':>9}"
+                continue
+            avg += (f" | {sum(c.sites for c in cells) / len(cells):>8.1f}"
+                    f"{sum(c.time_per_tuple for c in cells) / len(cells):>9.2f}"
+                    f"{sum(c.tuples for c in cells) / len(cells):>9.1f}")
+        lines.append("-" * len(header2))
+        lines.append(avg)
+    # masking footnote (paper §4.1 reports it prose-only)
+    seq = [r for r in rows if r.sequential]
+    if seq:
+        k = max(fault_counts)
+        rates = [r.cells[k].masked_rate for r in seq if k in r.cells]
+        if rates:
+            lines.append(
+                f"fault masking at {k} faults (sequential circuits): "
+                f"{100 * sum(rates) / len(rates):.0f}% of trials "
+                f"returned a smaller explaining tuple")
+    return "\n".join(lines)
+
+
+def format_table2(rows: list[Table2Row], error_counts=(3, 4)) -> str:
+    """Render Table 2: diag. / corr. / nodes / total per error count."""
+    header1 = f"{'ckt':<8}"
+    header2 = f"{'':<8}"
+    for k in error_counts:
+        label = f"{k} error time (sec.)"
+        header1 += f" | {label:^38}"
+        header2 += (f" | {'diag.':>8}{'corr.':>9}{'nodes':>9}"
+                    f"{'total':>9}")
+    lines = ["Table 2: Results on Design Errors",
+             header1, header2, "-" * len(header2)]
+    for row in rows:
+        line = f"{row.name:<8}"
+        for k in error_counts:
+            cell = row.cells.get(k)
+            if cell is None:
+                line += f" | {'-':>8}{'-':>9}{'-':>9}{'-':>9}"
+            else:
+                line += (f" | {cell.diag_time:>8.3f}{cell.corr_time:>9.3f}"
+                         f"{cell.nodes:>9.1f}{cell.total_time:>9.2f}")
+        lines.append(line)
+    solved = []
+    for row in rows:
+        for cell in row.cells.values():
+            solved.append(cell.solved)
+    if solved:
+        lines.append("-" * len(header2))
+        lines.append(f"solved: {100 * sum(solved) / len(solved):.0f}% "
+                     f"of (circuit, error-count) trials")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Workload preparation shared by the experiment harnesses.
+
+Reproduces the paper's two experimental environments (§4):
+
+* **Stuck-at** (Table 1): circuits are first *optimized for area*, then
+  corrupted with 1-4 random stuck-at faults; diagnosis runs in the
+  fault-modeling direction (the good netlist is modified to match the
+  faulty device) with exhaustive tuple enumeration.
+* **Design errors** (Table 2): the *original redundant* circuits are
+  corrupted with 3-4 observable errors from the Abadir model; DEDC runs
+  in the correction direction (the erroneous netlist is modified to
+  match the specification), first valid correction set.
+
+Sequential suite members are full-scanned first, mirroring the paper's
+treatment of the ISCAS'89 benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.lines import LineTable
+from ..circuit.netlist import Netlist
+from ..circuit.sequential import full_scan
+from ..circuit.transform import optimize_area
+from ..faults.inject import (Workload, inject_stuck_at_faults,
+                             observable_design_error_workload)
+from ..sim.packing import PatternSet
+from ..tgen.randgen import random_patterns
+
+
+@dataclass
+class PreparedCircuit:
+    """A suite circuit made ready for one experiment family."""
+
+    name: str
+    netlist: Netlist        # combinational model actually diagnosed
+    is_sequential: bool     # True when the original had DFFs
+    num_lines: int          # ISCAS-style line count (stems + branches)
+
+
+def prepare_stuck_at(circuit: Netlist) -> PreparedCircuit:
+    """Full-scan + area-optimize a circuit for the Table 1 protocol."""
+    sequential = not circuit.is_combinational
+    model = full_scan(circuit)[0] if sequential else circuit
+    model = optimize_area(model, name=circuit.name)
+    return PreparedCircuit(circuit.name, model, sequential,
+                           len(LineTable(model)))
+
+
+def prepare_design_error(circuit: Netlist) -> PreparedCircuit:
+    """Full-scan only (keep redundancy) for the Table 2 protocol."""
+    sequential = not circuit.is_combinational
+    model = full_scan(circuit)[0] if sequential else circuit
+    model = model.compacted(circuit.name)
+    return PreparedCircuit(circuit.name, model, sequential,
+                           len(LineTable(model)))
+
+
+def stuck_at_instance(prepared: PreparedCircuit, num_faults: int,
+                      trial: int, num_vectors: int,
+                      seed: int = 0) -> tuple[Workload, PatternSet]:
+    """One Table 1 trial: workload + vectors (deterministic per seed)."""
+    workload = inject_stuck_at_faults(prepared.netlist, num_faults,
+                                      seed=seed + 7919 * trial)
+    patterns = random_patterns(prepared.netlist, num_vectors,
+                               seed=seed + 104729 * trial)
+    return workload, patterns
+
+
+def design_error_instance(prepared: PreparedCircuit, num_errors: int,
+                          trial: int, num_vectors: int,
+                          seed: int = 0) -> tuple[Workload, PatternSet]:
+    """One Table 2 trial: observable error workload + vectors."""
+    patterns = random_patterns(prepared.netlist, num_vectors,
+                               seed=seed + 104729 * trial)
+    workload = observable_design_error_workload(
+        prepared.netlist, num_errors, patterns,
+        seed=seed + 7919 * trial)
+    return workload, patterns

@@ -1,0 +1,203 @@
+"""Gate types and their Boolean semantics.
+
+The paper (Section 2) investigates netlists built from NOT, BUFFER, AND,
+NAND, OR and NOR gates, and notes the algorithm also handles XOR/XNOR.  We
+support all of those, plus constants, primary inputs and a D flip-flop type
+used by the sequential/full-scan substrate.
+
+Two notions from the paper live here:
+
+* *controlling value* — a line feeding an AND/NAND (OR/NOR) gate has
+  controlling value when it carries 0 (1); a line driving NOT/BUF always
+  has controlling value (Section 2).
+* gate evaluation — both scalar (ints 0/1) and bit-parallel (64 test
+  vectors packed per ``uint64`` word) evaluation kernels.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+
+class GateType(enum.Enum):
+    """Every node type a :class:`~repro.circuit.netlist.Netlist` may hold."""
+
+    INPUT = "INPUT"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    DFF = "DFF"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GateType.{self.name}"
+
+
+#: Gate types that take no fanin.
+SOURCE_TYPES = frozenset({GateType.INPUT, GateType.CONST0, GateType.CONST1})
+
+#: Gate types with exactly one fanin.
+UNARY_TYPES = frozenset({GateType.BUF, GateType.NOT, GateType.DFF})
+
+#: Gate types accepting two or more fanins.
+MULTI_INPUT_TYPES = frozenset(
+    {GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+     GateType.XOR, GateType.XNOR}
+)
+
+#: Combinational logic gates (everything but sources and state).
+LOGIC_TYPES = frozenset(UNARY_TYPES - {GateType.DFF}) | MULTI_INPUT_TYPES
+
+#: Gate types whose output inverts the "core" function (NAND/NOR/XNOR/NOT).
+INVERTING_TYPES = frozenset(
+    {GateType.NOT, GateType.NAND, GateType.NOR, GateType.XNOR}
+)
+
+#: Map each multi-input gate to its output-inverted counterpart.
+INVERTED_COUNTERPART = {
+    GateType.AND: GateType.NAND,
+    GateType.NAND: GateType.AND,
+    GateType.OR: GateType.NOR,
+    GateType.NOR: GateType.OR,
+    GateType.XOR: GateType.XNOR,
+    GateType.XNOR: GateType.XOR,
+    GateType.BUF: GateType.NOT,
+    GateType.NOT: GateType.BUF,
+}
+
+#: Gate-type replacements considered by the design-error model, i.e. all
+#: same-arity substitutions an engineer could plausibly make.
+REPLACEMENT_CLASSES = {
+    GateType.AND: (GateType.NAND, GateType.OR, GateType.NOR,
+                   GateType.XOR, GateType.XNOR),
+    GateType.NAND: (GateType.AND, GateType.OR, GateType.NOR,
+                    GateType.XOR, GateType.XNOR),
+    GateType.OR: (GateType.AND, GateType.NAND, GateType.NOR,
+                  GateType.XOR, GateType.XNOR),
+    GateType.NOR: (GateType.AND, GateType.NAND, GateType.OR,
+                   GateType.XOR, GateType.XNOR),
+    GateType.XOR: (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+                   GateType.XNOR),
+    GateType.XNOR: (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+                    GateType.XOR),
+    GateType.BUF: (GateType.NOT,),
+    GateType.NOT: (GateType.BUF,),
+}
+
+
+def controlling_value(gtype: GateType) -> int | None:
+    """Return the controlling input value for ``gtype``.
+
+    Per the paper's Section 2: 0 for AND/NAND, 1 for OR/NOR; NOT/BUF inputs
+    always control, which we report as 0-and-1 by returning ``None`` here
+    and letting callers special-case unary gates.  XOR/XNOR have no
+    controlling value (also ``None``).
+    """
+    if gtype in (GateType.AND, GateType.NAND):
+        return 0
+    if gtype in (GateType.OR, GateType.NOR):
+        return 1
+    return None
+
+
+def has_controlling_value(gtype: GateType) -> bool:
+    """True when ``gtype`` has a controlling input value (AND/NAND/OR/NOR)."""
+    return controlling_value(gtype) is not None
+
+
+def eval_scalar(gtype: GateType, inputs: Sequence[int]) -> int:
+    """Evaluate one gate on scalar 0/1 inputs; reference semantics.
+
+    This is the slow, obviously-correct oracle used by the test suite to
+    validate the bit-parallel kernels, and by small utilities where speed
+    is irrelevant.
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype in (GateType.BUF, GateType.DFF, GateType.INPUT):
+        return int(inputs[0])
+    if gtype is GateType.NOT:
+        return 1 - int(inputs[0])
+    if gtype is GateType.AND:
+        return int(all(inputs))
+    if gtype is GateType.NAND:
+        return 1 - int(all(inputs))
+    if gtype is GateType.OR:
+        return int(any(inputs))
+    if gtype is GateType.NOR:
+        return 1 - int(any(inputs))
+    if gtype is GateType.XOR:
+        acc = 0
+        for value in inputs:
+            acc ^= int(value)
+        return acc
+    if gtype is GateType.XNOR:
+        acc = 1
+        for value in inputs:
+            acc ^= int(value)
+        return acc
+    raise ValueError(f"cannot evaluate gate type {gtype}")
+
+
+def eval_words(gtype: GateType, inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Bit-parallel gate evaluation over packed ``uint64`` words.
+
+    Each element of ``inputs`` is a 1-D array of words where bit *i* of the
+    packed stream is the value of that fanin under test vector *i*.  The
+    result follows the same packing.  NOT-like gates flip every bit of the
+    word including any tail padding; counting utilities mask the tail
+    (see :mod:`repro.sim.packing`).
+    """
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    if gtype is GateType.CONST0:
+        raise ValueError("CONST0 takes no inputs; materialize from shape")
+    if gtype is GateType.CONST1:
+        raise ValueError("CONST1 takes no inputs; materialize from shape")
+    if gtype in (GateType.BUF, GateType.DFF, GateType.INPUT):
+        return inputs[0].copy()
+    if gtype is GateType.NOT:
+        return inputs[0] ^ ones
+    if gtype is GateType.AND or gtype is GateType.NAND:
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc &= word
+        if gtype is GateType.NAND:
+            acc ^= ones
+        return acc
+    if gtype is GateType.OR or gtype is GateType.NOR:
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc |= word
+        if gtype is GateType.NOR:
+            acc ^= ones
+        return acc
+    if gtype is GateType.XOR or gtype is GateType.XNOR:
+        acc = inputs[0].copy()
+        for word in inputs[1:]:
+            acc ^= word
+        if gtype is GateType.XNOR:
+            acc ^= ones
+        return acc
+    raise ValueError(f"cannot evaluate gate type {gtype}")
+
+
+def arity_ok(gtype: GateType, n_fanin: int) -> bool:
+    """Check that ``n_fanin`` is a legal fanin count for ``gtype``."""
+    if gtype in SOURCE_TYPES:
+        return n_fanin == 0
+    if gtype in UNARY_TYPES:
+        return n_fanin == 1
+    if gtype in MULTI_INPUT_TYPES:
+        return n_fanin >= 1
+    return False

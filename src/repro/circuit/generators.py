@@ -1,0 +1,691 @@
+"""Benchmark circuit generators.
+
+The paper evaluates on ISCAS'85 and full-scan ISCAS'89 netlists.  Those
+files are not redistributable here, so this module builds a suite of
+circuits with the same structural character (see DESIGN.md §4): adders,
+an array multiplier (the C6288 analogue), ALUs, error-correcting-code
+logic (C499/C1355 analogues), priority/decoder logic (C432 analogue),
+barrel shifters, parity trees, random DAGs, and random sequential circuits
+run through the full-scan transform.  The genuine tiny ISCAS circuits
+``c17`` and ``s27`` are embedded verbatim as anchors.
+
+All generators return a validated :class:`~repro.circuit.netlist.Netlist`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .bench_io import loads
+from .gatetypes import GateType
+from .netlist import Netlist
+from .validate import validate
+
+_C17_BENCH = """
+# c17 (ISCAS'85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+_S27_BENCH = """
+# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+"""
+
+
+def c17() -> Netlist:
+    """The genuine ISCAS'85 c17 circuit (6 NAND gates)."""
+    return loads(_C17_BENCH, "c17")
+
+
+def s27() -> Netlist:
+    """The genuine ISCAS'89 s27 circuit (3 DFFs)."""
+    return loads(_S27_BENCH, "s27")
+
+
+# ----------------------------------------------------------------------
+# building blocks
+# ----------------------------------------------------------------------
+def _xor2(nl: Netlist, a: int, b: int, name: str) -> int:
+    return nl.add_gate(name, GateType.XOR, [a, b])
+
+
+def _mux(nl: Netlist, sel: int, d0: int, d1: int, name: str) -> int:
+    """2:1 mux out = sel ? d1 : d0, built from NAND gates."""
+    ns = nl.add_gate(f"{name}_ns", GateType.NOT, [sel])
+    t0 = nl.add_gate(f"{name}_t0", GateType.NAND, [ns, d0])
+    t1 = nl.add_gate(f"{name}_t1", GateType.NAND, [sel, d1])
+    return nl.add_gate(name, GateType.NAND, [t0, t1])
+
+
+def _full_adder(nl: Netlist, a: int, b: int, cin: int,
+                prefix: str) -> tuple[int, int]:
+    """Classic 2-XOR/2-AND/1-OR full adder; returns (sum, carry-out)."""
+    x1 = nl.add_gate(f"{prefix}_x1", GateType.XOR, [a, b])
+    s = nl.add_gate(f"{prefix}_s", GateType.XOR, [x1, cin])
+    a1 = nl.add_gate(f"{prefix}_a1", GateType.AND, [a, b])
+    a2 = nl.add_gate(f"{prefix}_a2", GateType.AND, [x1, cin])
+    cout = nl.add_gate(f"{prefix}_c", GateType.OR, [a1, a2])
+    return s, cout
+
+
+def _half_adder(nl: Netlist, a: int, b: int,
+                prefix: str) -> tuple[int, int]:
+    s = nl.add_gate(f"{prefix}_s", GateType.XOR, [a, b])
+    c = nl.add_gate(f"{prefix}_c", GateType.AND, [a, b])
+    return s, c
+
+
+def _xor_tree(nl: Netlist, signals: list[int], prefix: str) -> int:
+    """Balanced XOR reduction tree over ``signals``."""
+    layer = list(signals)
+    depth = 0
+    while len(layer) > 1:
+        nxt: list[int] = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(_xor2(nl, layer[i], layer[i + 1],
+                             f"{prefix}_d{depth}_{i // 2}"))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+        depth += 1
+    return layer[0]
+
+
+# ----------------------------------------------------------------------
+# arithmetic circuits
+# ----------------------------------------------------------------------
+def ripple_carry_adder(width: int = 8, name: str | None = None) -> Netlist:
+    """``width``-bit ripple-carry adder: a + b + cin -> sum, cout."""
+    nl = Netlist(name or f"rca{width}")
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    carry = nl.add_input("cin")
+    sums: list[int] = []
+    for i in range(width):
+        s, carry = _full_adder(nl, a[i], b[i], carry, f"fa{i}")
+        sums.append(s)
+    nl.set_outputs(sums + [carry])
+    validate(nl)
+    return nl
+
+
+def array_multiplier(width: int = 8, name: str | None = None) -> Netlist:
+    """``width`` x ``width`` carry-save array multiplier.
+
+    The C6288 analogue: a reconvergence-heavy adder array that is
+    classically hard to diagnose.  16x16 yields ~2.4k gates like C6288;
+    the suite uses smaller widths by default for Python runtimes.
+    """
+    nl = Netlist(name or f"mult{width}")
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    # Partial products bucketed by bit weight.
+    cols: dict[int, list[int]] = {w: [] for w in range(2 * width)}
+    for i in range(width):
+        for j in range(width):
+            cols[i + j].append(
+                nl.add_gate(f"pp{i}_{j}", GateType.AND, [a[i], b[j]]))
+    # Carry-save reduction: compress every column to <= 2 signals.  Carries
+    # land in the next column, which is processed afterwards, so one
+    # low-to-high pass suffices.
+    counter = 0
+    for w in range(2 * width):
+        while len(cols[w]) > 2:
+            x = cols[w].pop()
+            y = cols[w].pop()
+            z = cols[w].pop()
+            s, c = _full_adder(nl, x, y, z, f"csa{w}_{counter}")
+            counter += 1
+            cols[w].append(s)
+            cols.setdefault(w + 1, []).append(c)
+    # Final carry-propagate addition of the remaining two rows.
+    outputs: list[int] = []
+    carry: int | None = None
+    for w in range(2 * width):
+        sigs = list(cols.get(w, ()))
+        if carry is not None:
+            sigs.append(carry)
+            carry = None
+        if not sigs:
+            outputs.append(nl.add_gate(nl.fresh_name(f"z{w}"),
+                                       GateType.CONST0))
+        elif len(sigs) == 1:
+            outputs.append(sigs[0])
+        elif len(sigs) == 2:
+            s, carry = _half_adder(nl, sigs[0], sigs[1], f"cpa{w}")
+            outputs.append(s)
+        else:
+            s, carry = _full_adder(nl, sigs[0], sigs[1], sigs[2], f"cpa{w}")
+            outputs.append(s)
+    nl.set_outputs(outputs[: 2 * width])
+    validate(nl)
+    return nl
+
+
+def comparator(width: int = 8, name: str | None = None) -> Netlist:
+    """Magnitude comparator: outputs (a>b, a==b, a<b)."""
+    nl = Netlist(name or f"cmp{width}")
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    gt = nl.add_gate("gt_init", GateType.CONST0)
+    eq = nl.add_gate("eq_init", GateType.CONST1)
+    for i in reversed(range(width)):  # MSB first
+        nb = nl.add_gate(f"nb{i}", GateType.NOT, [b[i]])
+        a_gt_b = nl.add_gate(f"agtb{i}", GateType.AND, [a[i], nb])
+        bit_eq = nl.add_gate(f"eqb{i}", GateType.XNOR, [a[i], b[i]])
+        win = nl.add_gate(f"win{i}", GateType.AND, [eq, a_gt_b])
+        gt = nl.add_gate(f"gt{i}", GateType.OR, [gt, win])
+        eq = nl.add_gate(f"eq{i}", GateType.AND, [eq, bit_eq])
+    ngt = nl.add_gate("n_gt", GateType.NOT, [gt])
+    neq = nl.add_gate("n_eq", GateType.NOT, [eq])
+    lt = nl.add_gate("lt", GateType.AND, [ngt, neq])
+    nl.set_outputs([gt, eq, lt])
+    validate(nl)
+    return nl
+
+
+# ----------------------------------------------------------------------
+# control / datapath circuits
+# ----------------------------------------------------------------------
+def alu(width: int = 8, name: str | None = None) -> Netlist:
+    """Small ALU (C880 analogue): 8 ops selected by 3 control bits.
+
+    Ops: ADD, SUB, AND, OR, XOR, NOR, pass-A, NOT-A; plus carry-out and
+    zero-flag outputs.
+    """
+    nl = Netlist(name or f"alu{width}")
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    sel = [nl.add_input(f"op{i}") for i in range(3)]
+    # Adder/subtractor: b xor sub, carry-in = sub (sub = sel0 & ~sel1 & ~sel2)
+    ns1 = nl.add_gate("ns1", GateType.NOT, [sel[1]])
+    ns2 = nl.add_gate("ns2", GateType.NOT, [sel[2]])
+    sub = nl.add_gate("sub", GateType.AND, [sel[0], ns1, ns2])
+    carry = sub
+    add_bits: list[int] = []
+    for i in range(width):
+        bx = nl.add_gate(f"bx{i}", GateType.XOR, [b[i], sub])
+        s, carry = _full_adder(nl, a[i], bx, carry, f"fa{i}")
+        add_bits.append(s)
+    cout = carry
+    # Logic ops
+    and_bits = [nl.add_gate(f"and{i}", GateType.AND, [a[i], b[i]])
+                for i in range(width)]
+    or_bits = [nl.add_gate(f"or{i}", GateType.OR, [a[i], b[i]])
+               for i in range(width)]
+    xor_bits = [nl.add_gate(f"xor{i}", GateType.XOR, [a[i], b[i]])
+                for i in range(width)]
+    nor_bits = [nl.add_gate(f"nor{i}", GateType.NOR, [a[i], b[i]])
+                for i in range(width)]
+    nota = [nl.add_gate(f"na{i}", GateType.NOT, [a[i]]) for i in range(width)]
+    outs: list[int] = []
+    for i in range(width):
+        # 8:1 mux from three levels of 2:1 muxes
+        m00 = _mux(nl, sel[0], add_bits[i], add_bits[i], f"m00_{i}")
+        m01 = _mux(nl, sel[0], and_bits[i], or_bits[i], f"m01_{i}")
+        m10 = _mux(nl, sel[0], xor_bits[i], nor_bits[i], f"m10_{i}")
+        m11 = _mux(nl, sel[0], a[i], nota[i], f"m11_{i}")
+        m0 = _mux(nl, sel[1], m00, m01, f"m0_{i}")
+        m1 = _mux(nl, sel[1], m10, m11, f"m1_{i}")
+        outs.append(_mux(nl, sel[2], m0, m1, f"y{i}"))
+    nzero = nl.add_gate("nzero", GateType.OR, outs)
+    zero = nl.add_gate("zero", GateType.NOT, [nzero])
+    nl.set_outputs(outs + [cout, zero])
+    validate(nl)
+    return nl
+
+
+def barrel_shifter(width: int = 16, name: str | None = None) -> Netlist:
+    """Logarithmic left barrel shifter (mux-layer structure)."""
+    stages = max(1, (width - 1).bit_length())
+    nl = Netlist(name or f"bshift{width}")
+    data = [nl.add_input(f"d{i}") for i in range(width)]
+    sel = [nl.add_input(f"s{i}") for i in range(stages)]
+    zero = nl.add_gate("zero", GateType.CONST0)
+    cur = data
+    for stage in range(stages):
+        shift = 1 << stage
+        nxt: list[int] = []
+        for i in range(width):
+            src = cur[i - shift] if i - shift >= 0 else zero
+            nxt.append(_mux(nl, sel[stage], cur[i], src,
+                            f"st{stage}_{i}"))
+        cur = nxt
+    nl.set_outputs(cur)
+    validate(nl)
+    return nl
+
+
+def priority_encoder(width: int = 16, name: str | None = None) -> Netlist:
+    """Priority encoder (C432-flavoured control logic).
+
+    Outputs the binary index of the highest-priority (highest index)
+    asserted input plus a valid flag.
+    """
+    bits = max(1, (width - 1).bit_length())
+    nl = Netlist(name or f"prio{width}")
+    req = [nl.add_input(f"r{i}") for i in range(width)]
+    # grant[i] = req[i] & ~req[i+1] & ... & ~req[width-1]
+    nreq = [nl.add_gate(f"nr{i}", GateType.NOT, [req[i]])
+            for i in range(width)]
+    grants: list[int] = []
+    for i in range(width):
+        higher = nreq[i + 1:]
+        if higher:
+            grants.append(
+                nl.add_gate(f"g{i}", GateType.AND, [req[i]] + higher))
+        else:
+            grants.append(nl.add_gate(f"g{i}", GateType.BUF, [req[i]]))
+    valid = nl.add_gate("valid", GateType.OR, req)
+    outs: list[int] = []
+    for bit in range(bits):
+        members = [grants[i] for i in range(width) if (i >> bit) & 1]
+        if members:
+            outs.append(nl.add_gate(f"y{bit}", GateType.OR, members))
+        else:
+            outs.append(nl.add_gate(f"y{bit}", GateType.CONST0))
+    nl.set_outputs(outs + [valid])
+    validate(nl)
+    return nl
+
+
+def decoder(sel_bits: int = 4, name: str | None = None) -> Netlist:
+    """``sel_bits``-to-2^n one-hot decoder with enable."""
+    nl = Netlist(name or f"dec{sel_bits}")
+    sel = [nl.add_input(f"s{i}") for i in range(sel_bits)]
+    en = nl.add_input("en")
+    nsel = [nl.add_gate(f"ns{i}", GateType.NOT, [sel[i]])
+            for i in range(sel_bits)]
+    outs = []
+    for code in range(1 << sel_bits):
+        terms = [sel[i] if (code >> i) & 1 else nsel[i]
+                 for i in range(sel_bits)]
+        outs.append(nl.add_gate(f"o{code}", GateType.AND, terms + [en]))
+    nl.set_outputs(outs)
+    validate(nl)
+    return nl
+
+
+def parity_tree(width: int = 32, name: str | None = None) -> Netlist:
+    """Balanced XOR parity tree over ``width`` inputs."""
+    nl = Netlist(name or f"par{width}")
+    ins = [nl.add_input(f"d{i}") for i in range(width)]
+    out = _xor_tree(nl, ins, "p")
+    nl.set_outputs([out])
+    validate(nl)
+    return nl
+
+
+def hamming_corrector(data_bits: int = 16, name: str | None = None) -> Netlist:
+    """Single-error-correcting Hamming decode+correct (C499/C1355 flavour).
+
+    Inputs: ``data_bits`` received data bits + the received parity bits.
+    The circuit recomputes parities, forms a syndrome, decodes it one-hot
+    and XOR-corrects the data.  Outputs: corrected data + error flag.
+    """
+    # number of parity bits p: 2^p >= data + p + 1
+    p = 1
+    while (1 << p) < data_bits + p + 1:
+        p += 1
+    nl = Netlist(name or f"ecc{data_bits}")
+    data = [nl.add_input(f"d{i}") for i in range(data_bits)]
+    par = [nl.add_input(f"p{i}") for i in range(p)]
+    # Assign codeword positions 1..n; powers of two are parity positions.
+    positions: dict[int, int] = {}
+    di = 0
+    n = data_bits + p
+    for pos in range(1, n + 1):
+        if pos & (pos - 1) == 0:  # power of two -> parity bit
+            continue
+        positions[pos] = data[di]
+        di += 1
+    syndrome: list[int] = []
+    for bit in range(p):
+        members = [sig for pos, sig in positions.items()
+                   if (pos >> bit) & 1]
+        recomputed = _xor_tree(nl, members, f"syn{bit}")
+        syndrome.append(
+            _xor2(nl, recomputed, par[bit], f"s{bit}"))
+    nsyn = [nl.add_gate(f"nsyn{i}", GateType.NOT, [syndrome[i]])
+            for i in range(p)]
+    err = nl.add_gate("err", GateType.OR, syndrome)
+    corrected: list[int] = []
+    di = 0
+    for pos in range(1, n + 1):
+        if pos & (pos - 1) == 0:
+            continue
+        terms = [syndrome[b] if (pos >> b) & 1 else nsyn[b]
+                 for b in range(p)]
+        hit = nl.add_gate(f"hit{pos}", GateType.AND, terms)
+        corrected.append(_xor2(nl, positions[pos], hit, f"c{di}"))
+        di += 1
+    nl.set_outputs(corrected + [err])
+    validate(nl)
+    return nl
+
+
+# ----------------------------------------------------------------------
+# random circuits
+# ----------------------------------------------------------------------
+_RANDOM_GATE_TYPES = (
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF,
+)
+
+
+def random_dag(num_inputs: int = 16, num_gates: int = 200,
+               num_outputs: int = 8, seed: int = 0,
+               max_fanin: int = 4, name: str | None = None) -> Netlist:
+    """Random levelized combinational DAG.
+
+    Fanin selection is biased towards recently created signals so depth
+    grows with ``num_gates`` (like a synthesized circuit, not a shallow
+    random graph).
+    """
+    rng = random.Random(seed)
+    nl = Netlist(name or f"rnd{num_gates}_{seed}")
+    for i in range(num_inputs):
+        nl.add_input(f"pi{i}")
+    for g in range(num_gates):
+        gtype = rng.choice(_RANDOM_GATE_TYPES)
+        pool = len(nl.gates)
+        if gtype in (GateType.NOT, GateType.BUF):
+            n_in = 1
+        else:
+            n_in = rng.randint(2, min(max_fanin, pool))
+        fanin = []
+        for _ in range(n_in):
+            # 70%: recent window, 30%: anywhere
+            if rng.random() < 0.7 and pool > num_inputs:
+                lo = max(0, pool - 40)
+                fanin.append(rng.randrange(lo, pool))
+            else:
+                fanin.append(rng.randrange(pool))
+        nl.add_gate(f"g{g}", gtype, fanin)
+    # Outputs: prefer signals with no fanout, then random late signals.
+    fanouts = nl.fanouts()
+    sinks = [g.index for g in nl.gates if not fanouts[g.index]
+             and g.gtype is not GateType.INPUT]
+    rng.shuffle(sinks)
+    outs = sinks[:num_outputs]
+    pool = [g.index for g in nl.gates if g.gtype is not GateType.INPUT]
+    while len(outs) < num_outputs and pool:
+        cand = rng.choice(pool)
+        if cand not in outs:
+            outs.append(cand)
+    nl.set_outputs(outs)
+    validate(nl)
+    return nl
+
+
+def random_sequential(num_inputs: int = 8, num_gates: int = 150,
+                      num_dffs: int = 8, num_outputs: int = 6,
+                      seed: int = 0, name: str | None = None) -> Netlist:
+    """Random sequential circuit: a random DAG whose DFFs feed back.
+
+    DFF outputs participate as extra sources of the combinational core and
+    their data inputs tap random internal signals, as in the ISCAS'89
+    benchmarks.  Use :func:`repro.circuit.sequential.full_scan` to obtain
+    the combinational full-scan model the paper diagnoses.
+    """
+    rng = random.Random(seed)
+    nl = Netlist(name or f"seq{num_gates}_{seed}")
+    for i in range(num_inputs):
+        nl.add_input(f"pi{i}")
+    # DFFs created with placeholder self fanin, patched after core build.
+    dff_ids = []
+    for i in range(num_dffs):
+        dff_ids.append(nl.add_gate(f"ff{i}", GateType.DFF,
+                                   [rng.randrange(num_inputs)]))
+    for g in range(num_gates):
+        gtype = rng.choice(_RANDOM_GATE_TYPES)
+        pool = len(nl.gates)
+        n_in = 1 if gtype in (GateType.NOT, GateType.BUF) else \
+            rng.randint(2, min(4, pool))
+        fanin = []
+        for _ in range(n_in):
+            if rng.random() < 0.7 and pool > num_inputs + num_dffs:
+                lo = max(0, pool - 40)
+                fanin.append(rng.randrange(lo, pool))
+            else:
+                fanin.append(rng.randrange(pool))
+        nl.add_gate(f"g{g}", gtype, fanin)
+    # Patch DFF data inputs to random internal signals (feedback).
+    internal = [g.index for g in nl.gates
+                if g.gtype not in (GateType.INPUT, GateType.DFF)]
+    for ff in dff_ids:
+        nl.gates[ff].fanin = [rng.choice(internal)]
+    nl._dirty()
+    outs = rng.sample(internal, min(num_outputs, len(internal)))
+    nl.set_outputs(outs)
+    validate(nl)
+    return nl
+
+
+# ----------------------------------------------------------------------
+# the benchmark suite
+# ----------------------------------------------------------------------
+def benchmark_suite(scale: float = 1.0) -> list[Netlist]:
+    """The circuit suite used by the Table 1 / Table 2 harnesses.
+
+    ``scale`` < 1 shrinks parameterized circuits for quick runs; 1.0 gives
+    sizes broadly comparable (in gate count ordering) to the paper's
+    suite.  Sequential members are returned *with DFFs*; the harness
+    full-scans them, mirroring the paper's treatment of ISCAS'89.
+    """
+    def s(value: int, lo: int = 2) -> int:
+        return max(lo, int(round(value * scale)))
+
+    suite = [
+        c17(),
+        priority_encoder(s(24), name="r432"),
+        hamming_corrector(s(26), name="r499"),
+        alu(s(8), name="r880"),
+        barrel_shifter(s(24), name="r1355"),
+        hamming_corrector(s(48), name="r1908"),
+        comparator(s(40), name="r2670a"),
+        random_dag(s(32), s(900), s(16), seed=3540, name="r3540"),
+        alu(s(20), name="r5315"),
+        array_multiplier(s(12), name="r6288"),
+        random_dag(s(48), s(1800), s(24), seed=7552, name="r7552"),
+        s27(),
+        random_sequential(s(10), s(300), s(12), s(8), seed=510,
+                          name="q510"),
+        random_sequential(s(14), s(500), s(16), s(12), seed=1238,
+                          name="q1238"),
+        random_sequential(s(24), s(1200), s(32), s(16), seed=9234,
+                          name="q9234"),
+    ]
+    return suite
+
+
+#: Quick-suite names used by tests and CI-sized runs.
+QUICK_SUITE = ("c17", "r432", "r499", "r880", "s27")
+
+
+def by_name(name: str, scale: float = 1.0) -> Netlist:
+    """Fetch one suite circuit by name."""
+    for nl in benchmark_suite(scale):
+        if nl.name == name:
+            return nl
+    raise KeyError(f"no suite circuit named {name!r}")
+
+
+# ----------------------------------------------------------------------
+# additional arithmetic / coding circuits
+# ----------------------------------------------------------------------
+def carry_lookahead_adder(width: int = 8, name: str | None = None
+                          ) -> Netlist:
+    """Carry-lookahead adder: flat group generate/propagate logic.
+
+    Wider AND/OR gates and shallower depth than the ripple design — a
+    different structural profile for the diagnosis experiments.
+    """
+    nl = Netlist(name or f"cla{width}")
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    cin = nl.add_input("cin")
+    gen = [nl.add_gate(f"g{i}", GateType.AND, [a[i], b[i]])
+           for i in range(width)]
+    prop = [nl.add_gate(f"p{i}", GateType.XOR, [a[i], b[i]])
+            for i in range(width)]
+    carries = [cin]
+    for i in range(width):
+        # c[i+1] = g[i] | p[i]&g[i-1] | ... | p[i..0]&cin
+        terms = [gen[i]]
+        for j in range(i - 1, -1, -1):
+            chain = [prop[k] for k in range(j + 1, i + 1)] + [gen[j]]
+            terms.append(nl.add_gate(f"t{i}_{j}", GateType.AND, chain))
+        chain0 = [prop[k] for k in range(0, i + 1)] + [cin]
+        terms.append(nl.add_gate(f"t{i}_c", GateType.AND, chain0))
+        if len(terms) == 1:
+            carries.append(terms[0])
+        else:
+            carries.append(nl.add_gate(f"c{i + 1}", GateType.OR, terms))
+    sums = [nl.add_gate(f"s{i}", GateType.XOR, [prop[i], carries[i]])
+            for i in range(width)]
+    nl.set_outputs(sums + [carries[width]])
+    validate(nl)
+    return nl
+
+
+def kogge_stone_adder(width: int = 8, name: str | None = None
+                      ) -> Netlist:
+    """Kogge-Stone parallel-prefix adder (log-depth carry network)."""
+    nl = Netlist(name or f"ks{width}")
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    g = [nl.add_gate(f"g0_{i}", GateType.AND, [a[i], b[i]])
+         for i in range(width)]
+    p = [nl.add_gate(f"p0_{i}", GateType.XOR, [a[i], b[i]])
+         for i in range(width)]
+    gen, prop = list(g), list(p)
+    dist = 1
+    level = 1
+    while dist < width:
+        new_gen, new_prop = list(gen), list(prop)
+        for i in range(dist, width):
+            t = nl.add_gate(f"t{level}_{i}", GateType.AND,
+                            [prop[i], gen[i - dist]])
+            new_gen[i] = nl.add_gate(f"g{level}_{i}", GateType.OR,
+                                     [gen[i], t])
+            new_prop[i] = nl.add_gate(f"p{level}_{i}", GateType.AND,
+                                      [prop[i], prop[i - dist]])
+        gen, prop = new_gen, new_prop
+        dist *= 2
+        level += 1
+    zero = nl.add_gate("zero", GateType.CONST0)
+    carries = [zero] + gen[:-1]
+    sums = [nl.add_gate(f"s{i}", GateType.XOR, [p[i], carries[i]])
+            for i in range(width)]
+    nl.set_outputs(sums + [gen[width - 1]])
+    validate(nl)
+    return nl
+
+
+def crc_checker(data_bits: int = 16, poly: int = 0x7,
+                crc_bits: int = 3, name: str | None = None) -> Netlist:
+    """Combinational CRC remainder over ``data_bits`` message bits.
+
+    Linear (XOR-only) datapath — the opposite structural extreme from
+    the AND/OR-heavy control circuits, and a notoriously aliasing-prone
+    diagnosis workload.
+    """
+    nl = Netlist(name or f"crc{data_bits}_{poly:x}")
+    data = [nl.add_input(f"d{i}") for i in range(data_bits)]
+    # LFSR-style division unrolled combinationally: state is a list of
+    # signal lists (XOR sets), materialized lazily as gates.
+    state: list[list[int]] = [[] for _ in range(crc_bits)]
+
+    def materialize(sets: list[list[int]]) -> list[int | None]:
+        signals: list[int | None] = []
+        for k, terms in enumerate(sets):
+            if not terms:
+                signals.append(None)
+            elif len(terms) == 1:
+                signals.append(terms[0])
+            else:
+                signals.append(nl.add_gate(
+                    nl.fresh_name(f"x{k}"), GateType.XOR, list(terms)))
+        return signals
+
+    for bit_idx, d in enumerate(data):
+        feedback = state[-1] + [d]
+        new_state: list[list[int]] = []
+        for k in range(crc_bits):
+            terms = list(state[k - 1]) if k else []
+            if (poly >> k) & 1:
+                terms = terms + feedback
+            # collapse duplicate pairs (x ^ x = 0)
+            seen: dict[int, int] = {}
+            for t in terms:
+                seen[t] = seen.get(t, 0) + 1
+            new_state.append([t for t, c in seen.items() if c % 2])
+        state = new_state
+    outputs = []
+    zero = None
+    for sig in materialize(state):
+        if sig is None:
+            if zero is None:
+                zero = nl.add_gate("zero", GateType.CONST0)
+            outputs.append(zero)
+        else:
+            outputs.append(sig)
+    nl.set_outputs(outputs)
+    validate(nl)
+    return nl
+
+
+def lfsr(width: int = 8, taps: tuple = (0, 2, 3, 4),
+         name: str | None = None) -> Netlist:
+    """Fibonacci LFSR with a load/shift control — a sequential workload
+    with long state-propagation chains for time-frame diagnosis."""
+    nl = Netlist(name or f"lfsr{width}")
+    load = nl.add_input("load")
+    seed_bits = [nl.add_input(f"seed{i}") for i in range(width)]
+    nload = nl.add_gate("nload", GateType.NOT, [load])
+    # two-phase construction: DFFs first with placeholder fanin
+    ffs = [nl.add_gate(f"ff{i}", GateType.DFF, [seed_bits[0]])
+           for i in range(width)]
+    fb_terms = [ffs[t] for t in taps if t < width]
+    feedback = nl.add_gate("fb", GateType.XOR, fb_terms) \
+        if len(fb_terms) > 1 else ffs[0]
+    for i in range(width):
+        shift_src = feedback if i == 0 else ffs[i - 1]
+        ld = nl.add_gate(f"ld{i}", GateType.AND, [load, seed_bits[i]])
+        sh = nl.add_gate(f"sh{i}", GateType.AND, [nload, shift_src])
+        nxt = nl.add_gate(f"nx{i}", GateType.OR, [ld, sh])
+        nl.gates[ffs[i]].fanin = [nxt]
+    nl._dirty()
+    nl.set_outputs(list(ffs))
+    validate(nl)
+    return nl

@@ -1,0 +1,111 @@
+"""Line model: the fault/correction sites of a netlist.
+
+The paper counts circuit *lines* the ISCAS way: every gate output is a
+*stem* line, and every fanout branch of a signal with more than one
+consumer is an additional *branch* line.  Faults and corrections attach to
+lines, not gates — a stuck-at on a branch affects only one consumer, while
+a stuck-at on the stem affects all of them.
+
+:class:`LineTable` enumerates the lines of a netlist and provides the
+index mapping used throughout the diagnosis engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .netlist import Netlist
+
+
+class LineKind(enum.Enum):
+    STEM = "stem"
+    BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class Line:
+    """One fault site.
+
+    Attributes:
+        index: position in the owning :class:`LineTable`.
+        kind: stem or fanout branch.
+        driver: gate whose output signal the line carries.
+        sink: consuming gate (branches only, else ``None``).
+        pin: fanin position at ``sink`` (branches only, else ``None``).
+    """
+
+    index: int
+    kind: LineKind
+    driver: int
+    sink: int | None = None
+    pin: int | None = None
+
+    @property
+    def is_stem(self) -> bool:
+        return self.kind is LineKind.STEM
+
+    def describe(self, netlist: Netlist) -> str:
+        """Human-readable site name, e.g. ``n12`` or ``n12->g7.1``."""
+        drv = netlist.gates[self.driver].name
+        if self.is_stem:
+            return drv
+        snk = netlist.gates[self.sink].name
+        return f"{drv}->{snk}.{self.pin}"
+
+
+class LineTable:
+    """All lines of a netlist, in deterministic order (stems first in gate
+    order, then branches in (sink, pin) order)."""
+
+    def __init__(self, netlist: Netlist, only_live: bool = True):
+        self.netlist = netlist
+        self.lines: list[Line] = []
+        self._stem_of_gate: dict[int, int] = {}
+        self._branch_of: dict[tuple[int, int], int] = {}
+        live = netlist.live_set() | set(netlist.inputs) if only_live else None
+        fanouts = netlist.fanouts()
+        for gate in netlist.gates:
+            if live is not None and gate.index not in live:
+                continue
+            idx = len(self.lines)
+            self.lines.append(Line(idx, LineKind.STEM, gate.index))
+            self._stem_of_gate[gate.index] = idx
+        for gate in netlist.gates:
+            if live is not None and gate.index not in live:
+                continue
+            for pin, src in enumerate(gate.fanin):
+                if len(fanouts[src]) > 1:
+                    idx = len(self.lines)
+                    self.lines.append(
+                        Line(idx, LineKind.BRANCH, src, gate.index, pin))
+                    self._branch_of[(gate.index, pin)] = idx
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __iter__(self):
+        return iter(self.lines)
+
+    def __getitem__(self, index: int) -> Line:
+        return self.lines[index]
+
+    def stem(self, gate_index: int) -> Line:
+        """The stem line of a gate's output signal."""
+        return self.lines[self._stem_of_gate[gate_index]]
+
+    def branch(self, sink: int, pin: int) -> Line | None:
+        """The branch line into ``sink.pin`` or ``None`` if single-fanout."""
+        idx = self._branch_of.get((sink, pin))
+        return None if idx is None else self.lines[idx]
+
+    @property
+    def num_stems(self) -> int:
+        return len(self._stem_of_gate)
+
+    @property
+    def num_branches(self) -> int:
+        return len(self._branch_of)
+
+    def describe(self, index: int) -> str:
+        return self.lines[index].describe(self.netlist)

@@ -1,0 +1,478 @@
+"""Mutable gate-level netlist.
+
+A :class:`Netlist` is a DAG of :class:`Gate` nodes.  Every gate drives one
+signal whose index equals the gate's index, so "signal", "net" and "gate
+output" are interchangeable here.  Primary inputs are gates of type
+``INPUT``; primary outputs are an ordered list of gate indices.
+
+The netlist is *mutable* because the diagnosis algorithm repeatedly applies
+structural corrections (change a gate's type, insert an inverter, rewire a
+fanin, tie a line to a constant).  Mutation methods invalidate the cached
+topological order / fanout lists, which are rebuilt lazily.
+
+Gates removed by an edit are never physically deleted (indices stay
+stable); they become *detached* — no longer reachable from an output — and
+are skipped by simulation and reporting.  :meth:`Netlist.compacted` returns
+a freshly-numbered copy when a clean netlist is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import NetlistError
+from .gatetypes import GateType, SOURCE_TYPES, arity_ok
+
+
+@dataclass
+class Gate:
+    """One node of the netlist.
+
+    Attributes:
+        index: position in ``Netlist.gates`` == index of the driven signal.
+        name: unique human-readable name (``.bench`` identifier).
+        gtype: the gate's :class:`GateType`.
+        fanin: indices of driving gates, in pin order.
+    """
+
+    index: int
+    name: str
+    gtype: GateType
+    fanin: list = field(default_factory=list)
+
+    def copy(self) -> "Gate":
+        return Gate(self.index, self.name, self.gtype, list(self.fanin))
+
+
+class Netlist:
+    """A combinational (or DFF-bearing) gate-level circuit."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.gates: list[Gate] = []
+        self.outputs: list[int] = []
+        self._name2idx: dict[str, int] = {}
+        self._fanouts: list[list[int]] | None = None
+        self._topo: list[int] | None = None
+        self._levels: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_gate(self, name: str, gtype: GateType,
+                 fanin: Sequence[int] = ()) -> int:
+        """Append a gate and return its index.
+
+        ``fanin`` entries must reference already-existing gates (use
+        :meth:`add_gate_deferred`-style two-phase construction via
+        ``set_fanin`` if you need forward references).
+        """
+        if name in self._name2idx:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        if not arity_ok(gtype, len(fanin)):
+            raise NetlistError(
+                f"gate {name!r}: {gtype.name} cannot take "
+                f"{len(fanin)} fanin(s)")
+        for src in fanin:
+            if not 0 <= src < len(self.gates):
+                raise NetlistError(
+                    f"gate {name!r}: fanin index {src} out of range")
+        index = len(self.gates)
+        self.gates.append(Gate(index, name, gtype, list(fanin)))
+        self._name2idx[name] = index
+        self._dirty()
+        return index
+
+    def add_input(self, name: str) -> int:
+        """Convenience wrapper for :meth:`add_gate` with ``INPUT`` type."""
+        return self.add_gate(name, GateType.INPUT)
+
+    def set_outputs(self, outputs: Iterable[int]) -> None:
+        """Declare the ordered list of primary-output gate indices."""
+        outs = list(outputs)
+        for out in outs:
+            if not 0 <= out < len(self.gates):
+                raise NetlistError(f"output index {out} out of range")
+        self.outputs = outs
+        self._dirty()
+
+    def fresh_name(self, stem: str) -> str:
+        """Return a gate name starting with ``stem`` not yet in use."""
+        if stem not in self._name2idx:
+            return stem
+        i = 1
+        while f"{stem}_{i}" in self._name2idx:
+            i += 1
+        return f"{stem}_{i}"
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def gate(self, ref) -> Gate:
+        """Look a gate up by index or by name."""
+        if isinstance(ref, str):
+            try:
+                return self.gates[self._name2idx[ref]]
+            except KeyError:
+                raise NetlistError(f"no gate named {ref!r}") from None
+        return self.gates[ref]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._name2idx[name]
+        except KeyError:
+            raise NetlistError(f"no gate named {name!r}") from None
+
+    @property
+    def inputs(self) -> list[int]:
+        """Indices of primary-input gates, in creation order."""
+        return [g.index for g in self.gates if g.gtype is GateType.INPUT]
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def fanouts(self) -> list[list[int]]:
+        """``fanouts()[i]`` lists gates consuming signal *i* (with
+        multiplicity: a gate using a signal on two pins appears twice)."""
+        if self._fanouts is None:
+            table: list[list[int]] = [[] for _ in self.gates]
+            for g in self.gates:
+                for src in g.fanin:
+                    table[src].append(g.index)
+            self._fanouts = table
+        return self._fanouts
+
+    def topo_order(self) -> list[int]:
+        """Gate indices in topological (fanin-before-gate) order.
+
+        Every gate is included — detached gates too, because diagnosis
+        may need their simulated values (e.g. to reconnect a wire whose
+        removal orphaned its source).  Raises :class:`NetlistError` on a
+        combinational cycle.
+        """
+        if self._topo is None:
+            self._topo = self._compute_topo()
+        return self._topo
+
+    def _compute_topo(self) -> list[int]:
+        order: list[int] = []
+        state = bytearray(len(self.gates))  # 0 unseen, 1 on stack, 2 done
+        stack: list[tuple[int, int]] = []
+        for root in range(len(self.gates)):
+            if state[root] == 2:
+                continue
+            stack.append((root, 0))
+            while stack:
+                node, child = stack[-1]
+                if state[node] == 2:
+                    stack.pop()
+                    continue
+                state[node] = 1
+                gate = self.gates[node]
+                # DFF fanin is a sequential edge, not a combinational one.
+                fanin = () if gate.gtype is GateType.DFF else gate.fanin
+                if child < len(fanin):
+                    stack[-1] = (node, child + 1)
+                    nxt = fanin[child]
+                    if state[nxt] == 1:
+                        raise NetlistError(
+                            f"combinational cycle through gate "
+                            f"{self.gates[nxt].name!r}")
+                    if state[nxt] == 0:
+                        stack.append((nxt, 0))
+                else:
+                    state[node] = 2
+                    order.append(node)
+                    stack.pop()
+        return order
+
+    def live_set(self) -> set[int]:
+        """Gates reachable (transitively) from the primary outputs.
+
+        DFF fanin edges are followed so state-feeding logic stays live.
+        """
+        seen: set[int] = set()
+        stack = list(self.outputs)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.gates[node].fanin)
+        return seen
+
+    def levels(self) -> list[int]:
+        """Levelization: ``levels()[i]`` = longest path from sources to i."""
+        if self._levels is None:
+            lev = [0] * len(self.gates)
+            for idx in self.topo_order():
+                gate = self.gates[idx]
+                if gate.gtype is GateType.DFF or not gate.fanin:
+                    lev[idx] = 0
+                else:
+                    lev[idx] = 1 + max(lev[src] for src in gate.fanin)
+            self._levels = lev
+        return self._levels
+
+    def fanout_cone(self, start: int) -> set[int]:
+        """All gates whose value can depend on signal ``start`` (incl. it)."""
+        fos = self.fanouts()
+        cone = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in fos[node]:
+                if nxt not in cone and self.gates[nxt].gtype is not GateType.DFF:
+                    cone.add(nxt)
+                    stack.append(nxt)
+        return cone
+
+    def fanin_cone(self, start: int) -> set[int]:
+        """All gates signal ``start`` transitively depends on (incl. it)."""
+        cone = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            gate = self.gates[node]
+            if gate.gtype is GateType.DFF:
+                continue
+            for src in gate.fanin:
+                if src not in cone:
+                    cone.add(src)
+                    stack.append(src)
+        return cone
+
+    def dffs(self) -> list[int]:
+        return [g.index for g in self.gates if g.gtype is GateType.DFF]
+
+    @property
+    def is_combinational(self) -> bool:
+        return not any(g.gtype is GateType.DFF for g in self.gates)
+
+    def stats(self) -> dict:
+        """Small summary used by reports and the CLI."""
+        live = self.live_set()
+        return {
+            "name": self.name,
+            "gates": len(self.gates),
+            "live_gates": len(live),
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "dffs": len(self.dffs()),
+            "depth": max(self.levels(), default=0),
+        }
+
+    # ------------------------------------------------------------------
+    # mutation (used by fault injection and corrections)
+    # ------------------------------------------------------------------
+    def _dirty(self) -> None:
+        self._fanouts = None
+        self._topo = None
+        self._levels = None
+
+    def set_gate_type(self, index: int, gtype: GateType) -> None:
+        """Replace the function of gate ``index`` keeping its fanin."""
+        gate = self.gates[index]
+        if not arity_ok(gtype, len(gate.fanin)):
+            raise NetlistError(
+                f"gate {gate.name!r}: cannot become {gtype.name} with "
+                f"{len(gate.fanin)} fanin(s)")
+        gate.gtype = gtype
+        self._dirty()
+
+    def set_fanin(self, index: int, fanin: Sequence[int]) -> None:
+        """Rewire all fanin pins of gate ``index`` at once."""
+        gate = self.gates[index]
+        if not arity_ok(gate.gtype, len(fanin)):
+            raise NetlistError(
+                f"gate {gate.name!r}: {gate.gtype.name} cannot take "
+                f"{len(fanin)} fanin(s)")
+        gate.fanin = list(fanin)
+        self._dirty()
+
+    def replace_fanin_pin(self, index: int, pin: int, new_src: int) -> None:
+        """Rewire a single fanin pin of gate ``index``."""
+        gate = self.gates[index]
+        if not 0 <= pin < len(gate.fanin):
+            raise NetlistError(f"gate {gate.name!r}: no pin {pin}")
+        gate.fanin[pin] = new_src
+        self._dirty()
+
+    def remove_fanin_pin(self, index: int, pin: int) -> None:
+        """Drop one fanin pin (the "extra input wire" error/correction)."""
+        gate = self.gates[index]
+        if len(gate.fanin) <= 1:
+            raise NetlistError(
+                f"gate {gate.name!r}: cannot drop pin of 1-input gate")
+        if not 0 <= pin < len(gate.fanin):
+            raise NetlistError(f"gate {gate.name!r}: no pin {pin}")
+        del gate.fanin[pin]
+        if len(gate.fanin) == 1 and gate.gtype in (
+                GateType.AND, GateType.OR, GateType.XOR):
+            gate.gtype = GateType.BUF
+        elif len(gate.fanin) == 1 and gate.gtype in (
+                GateType.NAND, GateType.NOR, GateType.XNOR):
+            gate.gtype = GateType.NOT
+        self._dirty()
+
+    def add_fanin_pin(self, index: int, new_src: int) -> None:
+        """Append a fanin (the "missing input wire" error/correction)."""
+        gate = self.gates[index]
+        if gate.gtype in SOURCE_TYPES:
+            raise NetlistError(
+                f"gate {gate.name!r}: {gate.gtype.name} takes no fanin")
+        if gate.gtype is GateType.BUF:
+            gate.gtype = GateType.AND  # promote; caller picks real type
+        elif gate.gtype is GateType.NOT:
+            gate.gtype = GateType.NAND
+        elif gate.gtype is GateType.DFF:
+            raise NetlistError("cannot add fanin to a DFF")
+        gate.fanin.append(new_src)
+        self._dirty()
+
+    def insert_gate_on_stem(self, index: int, gtype: GateType,
+                            name: str | None = None) -> int:
+        """Insert a unary gate after signal ``index`` feeding *all* its
+        current consumers (and PO slots).  Returns the new gate's index.
+
+        Implements "extra inverter on a stem" (injection) and the matching
+        "missing inverter" correction.
+        """
+        if name is None:
+            name = self.fresh_name(f"{self.gates[index].name}_{gtype.name.lower()}")
+        new_idx = self.add_gate(name, gtype, [index])
+        for g in self.gates:
+            if g.index == new_idx:
+                continue
+            g.fanin = [new_idx if src == index else src for src in g.fanin]
+        self.outputs = [new_idx if out == index else out
+                        for out in self.outputs]
+        self._dirty()
+        return new_idx
+
+    def insert_binary_on_stem(self, index: int, gtype: GateType,
+                              other: int, name: str | None = None) -> int:
+        """Insert a 2-input gate after signal ``index``: consumers of the
+        signal now read ``gtype(index, other)``.
+
+        Models the "missing gate" design error's repair (and, inversely,
+        "extra gate" injection).  ``other`` must not depend on ``index``
+        (checked by the caller to avoid an O(V+E) scan here).
+        """
+        if name is None:
+            name = self.fresh_name(
+                f"{self.gates[index].name}_{gtype.name.lower()}2")
+        new_idx = self.add_gate(name, gtype, [index, other])
+        for g in self.gates:
+            if g.index == new_idx:
+                continue
+            g.fanin = [new_idx if src == index else src for src in g.fanin]
+        self.outputs = [new_idx if out == index else out
+                        for out in self.outputs]
+        self._dirty()
+        return new_idx
+
+    def insert_gate_on_branch(self, sink: int, pin: int, gtype: GateType,
+                              name: str | None = None) -> int:
+        """Insert a unary gate on the branch feeding ``sink`` pin ``pin``."""
+        gate = self.gates[sink]
+        if not 0 <= pin < len(gate.fanin):
+            raise NetlistError(f"gate {gate.name!r}: no pin {pin}")
+        src = gate.fanin[pin]
+        if name is None:
+            name = self.fresh_name(
+                f"{self.gates[src].name}_{gtype.name.lower()}_b")
+        new_idx = self.add_gate(name, gtype, [src])
+        self.gates[sink].fanin[pin] = new_idx
+        self._dirty()
+        return new_idx
+
+    def bypass_gate(self, index: int) -> None:
+        """Make every consumer of ``index`` read its single fanin instead.
+
+        Used to *remove* an inverter/buffer (the gate becomes detached).
+        """
+        gate = self.gates[index]
+        if len(gate.fanin) != 1:
+            raise NetlistError(
+                f"gate {gate.name!r}: can only bypass 1-input gates")
+        src = gate.fanin[0]
+        for g in self.gates:
+            g.fanin = [src if s == index else s for s in g.fanin]
+        self.outputs = [src if out == index else out for out in self.outputs]
+        self._dirty()
+
+    def tie_stem_to_constant(self, index: int, value: int) -> int:
+        """Force signal ``index`` to a constant for all consumers/POs.
+
+        Models a stuck-at fault on a stem.  Returns the constant gate index.
+        """
+        gtype = GateType.CONST1 if value else GateType.CONST0
+        name = self.fresh_name(f"{self.gates[index].name}_sa{int(bool(value))}")
+        const_idx = self.add_gate(name, gtype)
+        for g in self.gates:
+            if g.index == const_idx:
+                continue
+            g.fanin = [const_idx if src == index else src for src in g.fanin]
+        self.outputs = [const_idx if out == index else out
+                        for out in self.outputs]
+        self._dirty()
+        return const_idx
+
+    def tie_branch_to_constant(self, sink: int, pin: int, value: int) -> int:
+        """Force the branch into ``sink`` pin ``pin`` to a constant."""
+        gate = self.gates[sink]
+        if not 0 <= pin < len(gate.fanin):
+            raise NetlistError(f"gate {gate.name!r}: no pin {pin}")
+        gtype = GateType.CONST1 if value else GateType.CONST0
+        src = gate.fanin[pin]
+        name = self.fresh_name(
+            f"{self.gates[src].name}_sa{int(bool(value))}_b")
+        const_idx = self.add_gate(name, gtype)
+        self.gates[sink].fanin[pin] = const_idx
+        self._dirty()
+        return const_idx
+
+    # ------------------------------------------------------------------
+    # copying
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Netlist":
+        """Deep copy (indices preserved)."""
+        dup = Netlist(name or self.name)
+        dup.gates = [g.copy() for g in self.gates]
+        dup.outputs = list(self.outputs)
+        dup._name2idx = dict(self._name2idx)
+        return dup
+
+    def compacted(self, name: str | None = None) -> "Netlist":
+        """Copy with detached gates removed and indices renumbered.
+
+        INPUT gates are always retained (a circuit's interface must not
+        silently shrink because a fault detached a cone).
+        """
+        keep = sorted(self.live_set() | set(self.inputs))
+        remap = {old: new for new, old in enumerate(keep)}
+        dup = Netlist(name or self.name)
+        for old in keep:
+            gate = self.gates[old]
+            dup.gates.append(Gate(remap[old], gate.name, gate.gtype,
+                                  [remap[s] for s in gate.fanin]))
+            dup._name2idx[gate.name] = remap[old]
+        dup.outputs = [remap[out] for out in self.outputs]
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Netlist({self.name!r}, gates={len(self.gates)}, "
+                f"inputs={self.num_inputs}, outputs={self.num_outputs})")

@@ -1,0 +1,112 @@
+"""Sequential-circuit support: DFFs and the full-scan transform.
+
+The paper diagnoses "combinational and full-scan sequential digital
+circuits": every flip-flop is on the scan chain, so each DFF output is a
+controllable pseudo-primary input (PPI) and each DFF data input is an
+observable pseudo-primary output (PPO).  :func:`full_scan` performs exactly
+that model transformation, producing a purely combinational netlist the
+diagnosis engine can treat uniformly.
+
+:class:`SequentialSimulator` offers cycle-accurate simulation of the
+original (unscanned) netlist; it is used by tests to show that full-scan
+diagnosis results are consistent with the sequential behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+from .gatetypes import GateType, eval_scalar
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ScanMap:
+    """Bookkeeping from :func:`full_scan`.
+
+    Attributes:
+        ppi_of_dff: original DFF index -> INPUT gate index in the scan model.
+        ppo_of_dff: original DFF index -> position in the scan model's
+            output list carrying its data input (the PPO).
+        num_pis / num_pos: counts of *real* PIs and POs in the scan model
+            (the PPIs/PPOs come after them, in DFF order).
+    """
+
+    ppi_of_dff: dict
+    ppo_of_dff: dict
+    num_pis: int
+    num_pos: int
+
+
+def full_scan(netlist: Netlist, name: str | None = None
+              ) -> tuple[Netlist, ScanMap]:
+    """Return the full-scan combinational model of ``netlist``.
+
+    Every ``DFF`` gate becomes an ``INPUT`` (its Q output is scan-
+    controllable) and its data fanin is appended to the primary outputs
+    (scan-observable).  Combinational netlists pass through unchanged
+    (with an empty :class:`ScanMap`).
+    """
+    scan = netlist.copy(name or f"{netlist.name}_scan")
+    dffs = scan.dffs()
+    ppi_of_dff: dict = {}
+    ppo_of_dff: dict = {}
+    num_pos = len(scan.outputs)
+    new_outputs = list(scan.outputs)
+    for dff in dffs:
+        gate = scan.gates[dff]
+        data_src = gate.fanin[0]
+        gate.gtype = GateType.INPUT
+        gate.fanin = []
+        ppi_of_dff[dff] = dff
+        ppo_of_dff[dff] = len(new_outputs)
+        new_outputs.append(data_src)
+    scan.set_outputs(new_outputs)
+    scan._dirty()
+    return scan, ScanMap(ppi_of_dff, ppo_of_dff,
+                         netlist.num_inputs, num_pos)
+
+
+class SequentialSimulator:
+    """Scalar cycle-accurate simulator for DFF-bearing netlists.
+
+    Slow (pure Python, one vector at a time) but simple; the test suite
+    uses it as the behavioural oracle for the full-scan transform.
+    """
+
+    def __init__(self, netlist: Netlist, initial_state: int = 0):
+        self.netlist = netlist
+        self.dffs = netlist.dffs()
+        self.state = {dff: initial_state for dff in self.dffs}
+        self._order = [i for i in netlist.topo_order()]
+
+    def reset(self, value: int = 0) -> None:
+        for dff in self.state:
+            self.state[dff] = value
+
+    def step(self, pi_values: dict) -> dict:
+        """Apply one input vector; returns {output_position: value} for the
+        primary outputs and advances the flip-flop state."""
+        values: dict = {}
+        gates = self.netlist.gates
+        for idx in self._order:
+            gate = gates[idx]
+            if gate.gtype is GateType.INPUT:
+                if gate.name not in pi_values:
+                    raise NetlistError(f"missing value for PI {gate.name!r}")
+                values[idx] = int(pi_values[gate.name])
+            elif gate.gtype is GateType.DFF:
+                values[idx] = self.state[idx]
+            elif gate.gtype is GateType.CONST0:
+                values[idx] = 0
+            elif gate.gtype is GateType.CONST1:
+                values[idx] = 1
+            else:
+                values[idx] = eval_scalar(
+                    gate.gtype, [values[src] for src in gate.fanin])
+        outputs = {pos: values[po]
+                   for pos, po in enumerate(self.netlist.outputs)}
+        for dff in self.dffs:
+            self.state[dff] = values[self.netlist.gates[dff].fanin[0]]
+        return outputs

@@ -1,0 +1,260 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro table1 [--scale S] [--trials N] [--circuits a,b] ...
+    repro table2 [--scale S] [--trials N] ...
+    repro ablation [--errors K] ...
+    repro diagnose SPEC.bench IMPL.bench [--mode stuck-at|design-error]
+    repro inject SPEC.bench OUT.bench (--faults K | --errors K) [--seed N]
+    repro compare [--faults 1,2]     # engine vs SAT vs dictionary
+    repro convert IN.bench OUT.v     # netlist format conversion
+    repro vcd IN.bench OUT.vcd       # waveform dump
+    repro suite [--scale S]          # list the benchmark suite
+
+``python -m repro.cli`` works too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (format_ablation, format_compare, format_table1,
+                    format_table2, run_ablation, run_compare,
+                    run_table1, run_table2)
+from .circuit import bench_io, full_scan, generators, verilog_io
+from .diagnose import DiagnosisConfig, IncrementalDiagnoser, Mode
+from .faults import inject_design_errors, inject_stuck_at_faults
+from .tgen import random_patterns
+
+
+def _suite(args) -> list:
+    circuits = generators.benchmark_suite(args.scale)
+    if args.circuits:
+        wanted = set(args.circuits.split(","))
+        circuits = [c for c in circuits if c.name in wanted]
+        missing = wanted - {c.name for c in circuits}
+        if missing:
+            sys.exit(f"unknown circuit(s): {', '.join(sorted(missing))}")
+    return circuits
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="benchmark suite size scale (default 0.5)")
+    parser.add_argument("--circuits", default="",
+                        help="comma-separated circuit subset")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="trials per table cell")
+    parser.add_argument("--vectors", type=int, default=1024,
+                        help="random vectors per trial")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--time-budget", type=float, default=60.0,
+                        help="seconds per diagnosis run")
+
+
+def cmd_suite(args) -> int:
+    print(f"{'name':<10}{'gates':>7}{'PIs':>5}{'POs':>5}{'DFFs':>6}"
+          f"{'depth':>7}")
+    for circuit in _suite(args):
+        stats = circuit.stats()
+        print(f"{stats['name']:<10}{stats['gates']:>7}{stats['inputs']:>5}"
+              f"{stats['outputs']:>5}{stats['dffs']:>6}{stats['depth']:>7}")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    fault_counts = tuple(int(x) for x in args.faults.split(","))
+    rows = run_table1(_suite(args), fault_counts, args.trials,
+                      args.vectors, args.seed,
+                      time_budget=args.time_budget,
+                      progress=_progress if args.verbose else None)
+    print(format_table1(rows, fault_counts))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    error_counts = tuple(int(x) for x in args.errors.split(","))
+    rows = run_table2(_suite(args), error_counts, args.trials,
+                      args.vectors, args.seed,
+                      time_budget=args.time_budget,
+                      progress=_progress if args.verbose else None)
+    print(format_table2(rows, error_counts))
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    results = run_ablation(_suite(args), args.num_errors, args.trials,
+                           args.vectors, args.seed,
+                           time_budget=args.time_budget)
+    print(format_ablation(results))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    fault_counts = tuple(int(x) for x in args.faults.split(","))
+    rows = run_compare(_suite(args), fault_counts, args.trials,
+                       args.vectors, args.seed,
+                       time_budget=args.time_budget)
+    print(format_compare(rows, fault_counts))
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    spec = bench_io.load(args.spec)
+    impl = bench_io.load(args.impl)
+    if not spec.is_combinational:
+        spec = full_scan(spec)[0]
+    if not impl.is_combinational:
+        impl = full_scan(impl)[0]
+    mode = Mode(args.mode)
+    patterns = random_patterns(impl, args.vectors, args.seed)
+    config = DiagnosisConfig(mode=mode, exact=(mode is Mode.STUCK_AT),
+                             max_errors=args.max_errors,
+                             time_budget=args.time_budget)
+    if mode is Mode.STUCK_AT:
+        # Fault-model the good netlist against the faulty device.
+        engine = IncrementalDiagnoser(impl, spec, patterns, config)
+    else:
+        engine = IncrementalDiagnoser(spec, impl, patterns, config)
+    result = engine.run()
+    print(result.summary())
+    return 0 if result.found else 1
+
+
+def _load_any(path):
+    """Load a netlist by extension (.bench or .v)."""
+    if str(path).endswith(".v"):
+        return verilog_io.load(path)
+    return bench_io.load(path)
+
+
+def cmd_convert(args) -> int:
+    netlist = _load_any(args.src)
+    if str(args.out).endswith(".v"):
+        verilog_io.dump(netlist, args.out)
+    else:
+        bench_io.dump(netlist, args.out)
+    print(f"wrote {args.out} ({len(netlist.gates)} gates)")
+    return 0
+
+
+def cmd_vcd(args) -> int:
+    from .sim import simulate, write_vcd
+
+    netlist = _load_any(args.src)
+    if not netlist.is_combinational:
+        netlist = full_scan(netlist)[0]
+    patterns = random_patterns(netlist, args.vectors, args.seed)
+    values = simulate(netlist, patterns)
+    signals = args.signals.split(",") if args.signals else None
+    write_vcd(args.out, netlist, values, patterns.nbits,
+              signals=signals,
+              comment=f"{args.vectors} random vectors, seed {args.seed}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_inject(args) -> int:
+    spec = bench_io.load(args.spec)
+    if args.num_faults:
+        workload = inject_stuck_at_faults(spec, args.num_faults,
+                                          args.seed)
+    else:
+        workload = inject_design_errors(spec, args.num_errors, args.seed)
+    bench_io.dump(workload.impl, args.out)
+    for record in workload.truth:
+        print(f"injected {record.kind} at {record.site} {record.detail}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _progress(name, k, trial, result) -> None:
+    print(f"  [{name} k={k} trial={trial}] "
+          f"{len(result.solutions)} solution(s), "
+          f"{result.stats.nodes} nodes, "
+          f"{result.stats.total_time:.2f}s", file=sys.stderr)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Incremental diagnosis & correction of multiple "
+                    "faults and errors (DATE 2002 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("suite", help="list the benchmark suite")
+    _add_common(p)
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("table1", help="stuck-at diagnosis experiment")
+    _add_common(p)
+    p.add_argument("--faults", default="1,2,3,4",
+                   help="comma-separated fault counts")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("table2", help="design-error (DEDC) experiment")
+    _add_common(p)
+    p.add_argument("--errors", default="3,4",
+                   help="comma-separated error counts")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("ablation", help="heuristic/traversal ablations")
+    _add_common(p)
+    p.add_argument("--num-errors", type=int, default=3)
+    p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser("compare",
+                       help="engine vs SAT vs dictionary baselines")
+    _add_common(p)
+    p.add_argument("--faults", default="1,2",
+                   help="comma-separated fault counts")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("diagnose", help="diagnose IMPL against SPEC")
+    p.add_argument("spec")
+    p.add_argument("impl")
+    p.add_argument("--mode", choices=[m.value for m in Mode],
+                   default=Mode.STUCK_AT.value)
+    p.add_argument("--vectors", type=int, default=2048)
+    p.add_argument("--max-errors", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--time-budget", type=float, default=120.0)
+    p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("convert",
+                       help="convert between .bench and .v")
+    p.add_argument("src")
+    p.add_argument("out")
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("vcd", help="dump simulated waveforms to VCD")
+    p.add_argument("src")
+    p.add_argument("out")
+    p.add_argument("--vectors", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--signals", default="",
+                   help="comma-separated signal names (default: PIs+POs)")
+    p.set_defaults(func=cmd_vcd)
+
+    p = sub.add_parser("inject", help="corrupt a netlist")
+    p.add_argument("spec")
+    p.add_argument("out")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--faults", dest="num_faults", type=int, default=0)
+    group.add_argument("--errors", dest="num_errors", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_inject)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

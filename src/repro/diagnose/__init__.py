@@ -1,0 +1,49 @@
+"""The paper's contribution: incremental diagnosis & correction."""
+
+from .bitlists import DiagnosisState, OverrideOutcome
+from .config import (DiagnosisConfig, FLOOR, HLevel, Mode,
+                     default_schedule)
+from .pathtrace import (marked_lines, path_trace_counts,
+                        path_trace_vector, top_fraction)
+from .potential import LinePotential, correcting_potential, rank_lines
+from .screening import (ScreenedCorrection, evaluate_correction,
+                        screen_verr, theorem1_bound)
+from .candidates import (corrections_for_line, design_error_corrections,
+                         stuck_at_corrections, wire_sources)
+from .ranking import rank_corrections, rank_value
+from .tree import DecisionTree, Node, round_visit_order
+from .engine import IncrementalDiagnoser, diagnose
+from .report import (CorrectionRecord, DiagnosisResult, EngineStats,
+                     Solution, matches_truth)
+from .verify import exhaustively_equivalent, rectifies
+from .baselines import (dictionary_diagnosis,
+                        exhaustive_multifault_diagnosis)
+from .timeframe import (TimeFrameDiagnoser, TimeFrameResult,
+                        random_sequences)
+from .satdiag import SatDiagnoser, SatDiagnosisResult
+from .dictionary import DictionaryMatch, FaultDictionary
+
+#: Alias matching the paper's terminology (DESIGN.md §3).
+enumerate_corrections = corrections_for_line
+
+__all__ = [
+    "DiagnosisState", "OverrideOutcome",
+    "DiagnosisConfig", "FLOOR", "HLevel", "Mode", "default_schedule",
+    "marked_lines", "path_trace_counts", "path_trace_vector",
+    "top_fraction",
+    "LinePotential", "correcting_potential", "rank_lines",
+    "ScreenedCorrection", "evaluate_correction", "screen_verr",
+    "theorem1_bound",
+    "corrections_for_line", "design_error_corrections",
+    "stuck_at_corrections", "wire_sources", "enumerate_corrections",
+    "rank_corrections", "rank_value",
+    "DecisionTree", "Node", "round_visit_order",
+    "IncrementalDiagnoser", "diagnose",
+    "CorrectionRecord", "DiagnosisResult", "EngineStats", "Solution",
+    "matches_truth",
+    "exhaustively_equivalent", "rectifies",
+    "dictionary_diagnosis", "exhaustive_multifault_diagnosis",
+    "TimeFrameDiagnoser", "TimeFrameResult", "random_sequences",
+    "SatDiagnoser", "SatDiagnosisResult",
+    "DictionaryMatch", "FaultDictionary",
+]

@@ -1,0 +1,123 @@
+"""Baseline diagnosis algorithms for comparison and ground truth.
+
+* :func:`dictionary_diagnosis` — the classic single-stuck-at fault
+  dictionary: fault-simulate every fault, return those whose response
+  signature matches the observed failures exactly.  Fast and standard,
+  but inherently single-fault.
+* :func:`exhaustive_multifault_diagnosis` — brute force over all
+  cardinality-N stuck-at combinations.  Exponential; usable only on
+  small circuits, where it provides the ground truth the incremental
+  engine's exact mode is validated against.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..circuit.lines import LineTable
+from ..circuit.netlist import Netlist
+from ..faults.models import apply_correction, stuck_at_correction
+from ..sim.compare import failing_vector_mask
+from ..sim.faultsim import FaultSimulator, SimFault, all_faults
+from ..sim.logicsim import output_rows, simulate
+from ..sim.packing import PatternSet, popcount
+from .report import CorrectionRecord, Solution
+
+
+def dictionary_diagnosis(spec: Netlist, impl: Netlist,
+                         patterns: PatternSet) -> list[SimFault]:
+    """Single-fault dictionary lookup.
+
+    Simulates every stuck-at fault *on the specification* and returns
+    faults whose full per-output response signature equals the observed
+    (implementation) behaviour.  Empty when no single fault explains it.
+    """
+    spec_values = simulate(spec, patterns)
+    spec_out = output_rows(spec, spec_values)
+    impl_out = output_rows(impl, simulate(impl, patterns))
+    observed = np.bitwise_xor(spec_out, impl_out)
+    observed[:, -1] &= np.uint64(patterns.tail_mask())
+    table = LineTable(spec)
+    fsim = FaultSimulator(spec, patterns, table)
+    matches = []
+    for fault in all_faults(table):
+        line = table[fault.line]
+        forced = (np.zeros_like(spec_values[line.driver]) if fault.value == 0
+                  else np.full_like(spec_values[line.driver],
+                                    np.uint64(0xFFFFFFFFFFFFFFFF)))
+        changed = _propagate(fsim, forced, stem=line.is_stem,
+                             line=line)
+        signature = np.zeros_like(observed)
+        for pos, po in enumerate(spec.outputs):
+            row = changed.get(po)
+            diff = (row ^ spec_out[pos]) if row is not None \
+                else np.zeros_like(spec_out[pos])
+            signature[pos] = diff
+        signature[:, -1] &= np.uint64(patterns.tail_mask())
+        if np.array_equal(signature, observed):
+            matches.append(fault)
+    return matches
+
+
+def _propagate(fsim: FaultSimulator, forced, stem: bool, line):
+    from ..sim.logicsim import propagate
+
+    if stem:
+        return propagate(fsim.netlist, fsim.values,
+                         stem_overrides={line.driver: forced},
+                         cone=fsim._cone(line.driver))
+    cone = fsim._cone(line.sink) | {line.sink}
+    return propagate(fsim.netlist, fsim.values,
+                     pin_overrides={(line.sink, line.pin): forced},
+                     cone=cone)
+
+
+def exhaustive_multifault_diagnosis(spec: Netlist, impl: Netlist,
+                                    patterns: PatternSet,
+                                    max_faults: int = 2,
+                                    max_lines: int = 80
+                                    ) -> list[Solution]:
+    """Brute-force all stuck-at tuples up to ``max_faults`` that rectify
+    the implementation on ``patterns``.  Minimal-size tuples only.
+
+    Intentionally naive (applies every combination structurally and
+    re-simulates): this is the oracle, not a contender.
+    """
+    spec_out = output_rows(spec, simulate(spec, patterns))
+    table = LineTable(impl)
+    if len(table) > max_lines:
+        raise ValueError(
+            f"{len(table)} lines exceed the exhaustive-baseline cap "
+            f"({max_lines}); use a smaller circuit")
+    base_fail = popcount(failing_vector_mask(
+        spec_out, output_rows(impl, simulate(impl, patterns)),
+        patterns.nbits))
+    if base_fail == 0:
+        return []
+    options = [(line.index, value) for line in table for value in (0, 1)]
+    for size in range(1, max_faults + 1):
+        solutions = []
+        for combo in itertools.combinations(options, size):
+            lines_used = [c[0] for c in combo]
+            if len(set(lines_used)) < size:
+                continue
+            candidate = impl.copy()
+            # Line indices shift as constants are added; apply via the
+            # *original* table which stays valid for original lines.
+            for line_index, value in combo:
+                apply_correction(candidate, table,
+                                 stuck_at_correction(table, line_index,
+                                                     value))
+            out = output_rows(candidate, simulate(candidate, patterns))
+            if popcount(failing_vector_mask(spec_out, out,
+                                            patterns.nbits)) == 0:
+                records = tuple(
+                    CorrectionRecord(f"sa{value}@{table.describe(li)}",
+                                     f"sa{value}", table.describe(li))
+                    for li, value in combo)
+                solutions.append(Solution(records))
+        if solutions:
+            return solutions
+    return []

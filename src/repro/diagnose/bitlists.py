@@ -1,0 +1,156 @@
+"""Diagnosis state: the paper's ``Verr``/``Vcorr`` bit-lists.
+
+Section 2: "we simulate a number of random input test vectors V and
+create two bit-lists, Verr_l and Vcorr_l, on every line l in the circuit.
+The i-th entry of the Verr_l (Vcorr_l) list contains the logic value of l
+when we simulate the i-th input test vector from V with erroneous
+(correct) primary output responses."
+
+We store the same information column-wise: one packed value matrix for
+the whole implementation plus two packed vector masks (``err_mask``,
+``corr_mask``) partitioning V.  ``Verr_l`` is then ``values[l] &
+err_mask`` conceptually; every count the heuristics need reduces to an
+AND + popcount.  The bit-lists are "properly updated during diagnosis and
+correction" simply by rebuilding the state of each decision-tree node
+from its (corrected) netlist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuit.lines import LineTable
+from ..circuit.netlist import Netlist
+from ..sim.compare import masked
+from ..sim.logicsim import output_rows, propagate, simulate
+from ..sim.packing import PatternSet, popcount, tail_mask
+
+
+class DiagnosisState:
+    """Simulation snapshot of one implementation against the spec.
+
+    This object is immutable in spirit: the decision tree creates a fresh
+    state per node (after applying that node's correction to a netlist
+    copy).
+
+    Attributes:
+        netlist: the (possibly partially corrected) implementation.
+        table: its line table (fault/correction sites).
+        values: packed value matrix, one row per signal.
+        spec_out: packed spec responses, one row per primary output.
+        diff: per-output packed mismatch rows (tail-masked).
+        err_mask: packed mask of failing vectors (any output wrong).
+        corr_mask: packed mask of passing vectors.
+        num_err / num_corr: vector counts per partition.
+        num_err_pairs: failing (output, vector) pairs.
+    """
+
+    def __init__(self, netlist: Netlist, patterns: PatternSet,
+                 spec_out: np.ndarray,
+                 values: np.ndarray | None = None):
+        self.netlist = netlist
+        self.patterns = patterns
+        self.table = LineTable(netlist)
+        self.values = simulate(netlist, patterns) if values is None \
+            else values
+        self.spec_out = spec_out
+        out = output_rows(netlist, self.values)
+        self.diff = masked(out ^ spec_out, patterns.nbits)
+        self.err_mask = np.bitwise_or.reduce(self.diff, axis=0)
+        full = np.full_like(self.err_mask, np.uint64(0xFFFFFFFFFFFFFFFF))
+        full[-1] = tail_mask(patterns.nbits)
+        self.corr_mask = self.err_mask ^ full
+        self.num_err = popcount(self.err_mask)
+        self.num_corr = patterns.nbits - self.num_err
+        self.num_err_pairs = popcount(self.diff)
+        self._cones: dict[int, set] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def rectified(self) -> bool:
+        """True when the implementation matches the spec on all of V."""
+        return self.num_err == 0
+
+    @property
+    def v_ratio(self) -> float:
+        """Fraction of failing vectors (the ranking formula's V_ratio)."""
+        if self.patterns.nbits == 0:
+            return 0.0
+        return self.num_err / self.patterns.nbits
+
+    def line_values(self, line_index: int) -> np.ndarray:
+        """Packed logic values carried by a line (== its stem signal)."""
+        return self.values[self.table[line_index].driver]
+
+    def verr_size(self) -> int:
+        """|Verr|: entries in every line's erroneous bit-list."""
+        return self.num_err
+
+    def cone_of(self, signal: int) -> set:
+        """Cached fanout cone of a signal (gate index set)."""
+        cone = self._cones.get(signal)
+        if cone is None:
+            cone = self.netlist.fanout_cone(signal)
+            self._cones[signal] = cone
+        return cone
+
+    # ------------------------------------------------------------------
+    def propagate_line_override(self, line_index: int,
+                                new_words: np.ndarray) -> dict:
+        """Push a hypothetical line value through its fanout cone.
+
+        Stem lines override the whole signal, branch lines only the sink
+        pin.  Returns the changed-row dict of
+        :func:`repro.sim.logicsim.propagate`.
+        """
+        line = self.table[line_index]
+        if line.is_stem:
+            return propagate(self.netlist, self.values,
+                             stem_overrides={line.driver: new_words},
+                             cone=self.cone_of(line.driver))
+        cone = self.cone_of(line.sink) | {line.sink}
+        return propagate(self.netlist, self.values,
+                         pin_overrides={(line.sink, line.pin): new_words},
+                         cone=cone)
+
+    def outcome_of_override(self, line_index: int,
+                            new_words: np.ndarray) -> "OverrideOutcome":
+        """Propagate an override and summarize its effect on V."""
+        changed = self.propagate_line_override(line_index, new_words)
+        nbits = self.patterns.nbits
+        diff_after = np.array(self.diff, copy=True)
+        for pos, po in enumerate(self.netlist.outputs):
+            row = changed.get(po)
+            if row is not None:
+                diff_after[pos] = row ^ self.spec_out[pos]
+        diff_after = masked(diff_after, nbits)
+        err_after = np.bitwise_or.reduce(diff_after, axis=0)
+        rectified_vecs = popcount(self.err_mask & ~err_after)
+        broken_vecs = popcount(self.corr_mask & err_after)
+        fixed_pairs = popcount(self.diff & ~diff_after)
+        return OverrideOutcome(rectified_vecs, broken_vecs, fixed_pairs,
+                               popcount(err_after) == 0)
+
+
+class OverrideOutcome:
+    """Effect of one hypothetical line override on the vector set."""
+
+    __slots__ = ("rectified_vectors", "broken_vectors", "fixed_pairs",
+                 "fixes_all")
+
+    def __init__(self, rectified_vectors: int, broken_vectors: int,
+                 fixed_pairs: int, fixes_all: bool):
+        self.rectified_vectors = rectified_vectors
+        self.broken_vectors = broken_vectors
+        self.fixed_pairs = fixed_pairs
+        self.fixes_all = fixes_all
+
+    def h1_score(self, state: DiagnosisState) -> float:
+        """Fraction of failing vectors this override rectifies."""
+        return (self.rectified_vectors / state.num_err
+                if state.num_err else 1.0)
+
+    def h3_score(self, state: DiagnosisState) -> float:
+        """Fraction of passing vectors that stay passing."""
+        return (1.0 - self.broken_vectors / state.num_corr
+                if state.num_corr else 1.0)

@@ -1,0 +1,123 @@
+"""Configuration of the incremental diagnosis engine.
+
+The paper drives its three heuristics with a triple ``h1/h2/h3`` that is
+progressively relaxed when the search returns empty-handed (§3.3):
+
+* runs initiate with ``1/1/1`` (single-error case),
+* a typical relaxed run is ``0.3/0.7/0.95`` then ``0.3/0.5/0.85``,
+* the floor is ``0.1/0.3/0.5``, after which a node is declared a failure
+  leaf,
+* ``h1`` is reduced before ``h2``/``h3`` as error cardinality grows,
+  "since these two parameters are error independent".
+
+:func:`default_schedule` reproduces that relaxation ladder.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Mode(enum.Enum):
+    """What correction vocabulary the engine may use."""
+
+    STUCK_AT = "stuck-at"          # fault diagnosis: sa0/sa1 models
+    DESIGN_ERROR = "design-error"  # DEDC: the Abadir error model
+
+
+@dataclass(frozen=True)
+class HLevel:
+    """One rung of the relaxation ladder.
+
+    Attributes:
+        h1: minimum fraction of erroneous primary outputs a candidate
+            *line* must be able to rectify (heuristic 1 threshold).
+        h2: minimum fraction of ``Verr`` bits a candidate *correction*
+            must complement (heuristic 2 / Theorem 1 screen).
+        h3: minimum fraction of correct primary outputs that must stay
+            correct after the correction (heuristic 3 threshold).
+    """
+
+    h1: float
+    h2: float
+    h3: float
+
+    def __str__(self) -> str:
+        return f"{self.h1:g}/{self.h2:g}/{self.h3:g}"
+
+
+#: The paper's floor: below this a node is a failure leaf (§3.3).
+FLOOR = HLevel(0.1, 0.3, 0.5)
+
+
+def default_schedule(num_errors: int) -> list[HLevel]:
+    """Relaxation ladder for a search targeting ``num_errors`` errors.
+
+    Mirrors §3.3: strict levels first; as the target cardinality grows,
+    ``h1`` is relaxed ahead of ``h2``/``h3``; everything bottoms out at
+    the ``0.1/0.3/0.5`` floor.
+    """
+    if num_errors <= 1:
+        ladder = [HLevel(1.0, 1.0, 1.0),
+                  HLevel(0.6, 0.9, 0.98),
+                  HLevel(0.3, 0.7, 0.95)]
+    elif num_errors == 2:
+        ladder = [HLevel(0.45, 0.9, 0.97),
+                  HLevel(0.3, 0.7, 0.95),
+                  HLevel(0.3, 0.5, 0.85)]
+    else:
+        ladder = [HLevel(0.3, 0.7, 0.95),
+                  HLevel(0.3, 0.5, 0.85),
+                  HLevel(0.2, 0.4, 0.7)]
+    ladder.append(FLOOR)
+    return ladder
+
+
+@dataclass
+class DiagnosisConfig:
+    """Knobs of :class:`~repro.diagnose.engine.IncrementalDiagnoser`.
+
+    Attributes:
+        mode: correction vocabulary (stuck-at vs design-error).
+        max_errors: largest correction-set cardinality attempted.
+        exact: exhaustively traverse the tree and return *all* minimal
+            correction tuples (the paper's Table 1 protocol) instead of
+            stopping at the first valid set (Table 2 protocol).
+        candidate_fraction: fraction of path-trace-marked lines promoted
+            to the second diagnosis step ("top 5-20%", §3.1); exact mode
+            keeps every marked line.
+        pathtrace_samples: failing vectors sampled per path-trace pass.
+        wire_source_limit: candidate new-source signals tried per gate
+            for add/replace-wire corrections.
+        corrections_per_node: pending-list length per tree node (the
+            corrections kept after ranking).
+        max_nodes: hard cap on decision-tree nodes per search level.
+        max_rounds: hard cap on rounds (paper observes <=6 typical, 9 for
+            c1355/c880-like circuits, allowing up to 256 nodes).
+        theorem1_safety: multiply the Theorem 1 bound in exact mode
+            (<1 loosens the screen; 1.0 is the proven bound).
+        h3_exact: heuristic-3 threshold in exact mode (0 disables the
+            screen so no valid tuple is ever pruned by it).
+        schedule: optional explicit relaxation ladder override.
+        seed: randomness (path-trace vector sampling, wire sources).
+    """
+
+    mode: Mode = Mode.STUCK_AT
+    max_errors: int = 4
+    exact: bool = True
+    candidate_fraction: float = 0.15
+    pathtrace_samples: int = 24
+    wire_source_limit: int = 8
+    corrections_per_node: int = 24
+    max_nodes: int = 4000
+    max_rounds: int = 9
+    theorem1_safety: float = 1.0
+    h3_exact: float = 0.0
+    schedule: list = field(default_factory=list)
+    traversal: str = "rounds"   # "rounds" (paper) | "dfs" | "bfs"
+    time_budget: float | None = None  # wall-clock seconds for one run()
+    seed: int = 0
+
+    def ladder(self, num_errors: int) -> list[HLevel]:
+        return list(self.schedule) or default_schedule(num_errors)

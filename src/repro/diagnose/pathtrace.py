@@ -1,0 +1,116 @@
+"""Path-trace: the first diagnosis step.
+
+The paper uses the line-marking procedure of Venkataraman & Fuchs
+(similar to critical path tracing): "For an erroneous vector v, path
+trace starts from an erroneous primary output for v and traces backwards
+toward the primary inputs of the circuit, while marking lines of
+interest" (§2).  Its guarantee — it "always marks at least one line from
+every set of valid corrections" — is what keeps the incremental search
+complete; the test suite checks the guarantee empirically.
+
+Marking rule at a gate, for the vector's simulated (faulty) values:
+
+* if some inputs carry the gate's controlling value, trace through *all*
+  controlling inputs;
+* otherwise trace through all inputs (all are non-controlling, so every
+  one of them is on a potentially sensitized path);
+* NOT/BUF inputs always have controlling value (§2) and are always
+  traced.
+
+Both the stem line of each traced signal and the branch line of each
+traversed fanout branch are marked.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from ..circuit.gatetypes import GateType, controlling_value
+from ..sim.packing import WORD_BITS, bit_indices
+from .bitlists import DiagnosisState
+
+
+def path_trace_vector(state: DiagnosisState, vector: int) -> set:
+    """Line indices marked by path-tracing one failing vector."""
+    netlist = state.netlist
+    table = state.table
+    word, bit = divmod(vector, WORD_BITS)
+    shift = np.uint64(bit)
+    one = np.uint64(1)
+    column = ((state.values[:, word] >> shift) & one).astype(np.uint8)
+    marked: set = set()
+    visited: set = set()
+    stack: list = []
+    for pos, po in enumerate(netlist.outputs):
+        if (int(state.diff[pos, word]) >> bit) & 1:
+            stack.append(po)
+    gates = netlist.gates
+    while stack:
+        signal = stack.pop()
+        if signal in visited:
+            continue
+        visited.add(signal)
+        marked.add(table.stem(signal).index)
+        gate = gates[signal]
+        if gate.gtype in (GateType.INPUT, GateType.CONST0,
+                          GateType.CONST1, GateType.DFF):
+            continue
+        ctrl = controlling_value(gate.gtype)
+        pins = range(len(gate.fanin))
+        if ctrl is not None:
+            controlling_pins = [p for p in pins
+                                if column[gate.fanin[p]] == ctrl]
+            if controlling_pins:
+                pins = controlling_pins
+        for pin in pins:
+            branch = table.branch(signal, pin)
+            if branch is not None:
+                marked.add(branch.index)
+            stack.append(gate.fanin[pin])
+    return marked
+
+
+def path_trace_counts(state: DiagnosisState, max_vectors: int = 24,
+                      seed: int = 0) -> np.ndarray:
+    """Mark counts per line over a sample of failing vectors.
+
+    Lines with a high count are promoted to the second diagnosis step
+    (§3.1: "we allow lines that have a high path-trace count to qualify").
+    Returns an int array indexed by line-table position.
+    """
+    counts = np.zeros(len(state.table), dtype=np.int64)
+    failing = bit_indices(state.err_mask, state.patterns.nbits)
+    if not failing:
+        return counts
+    if len(failing) > max_vectors:
+        rng = random.Random(seed)
+        failing = rng.sample(failing, max_vectors)
+    for vector in failing:
+        for line in path_trace_vector(state, vector):
+            counts[line] += 1
+    return counts
+
+
+def marked_lines(counts: np.ndarray) -> list:
+    """Line indices with a nonzero path-trace count, highest count first."""
+    nz = np.nonzero(counts)[0]
+    return sorted((int(i) for i in nz),
+                  key=lambda i: (-int(counts[i]), i))
+
+
+def top_fraction(counts: np.ndarray, fraction: float) -> list:
+    """The "top 5-20%" selection of §3.1 (at least one line).
+
+    Tie-inclusive: every line whose count equals the cut-off line's count
+    is kept, so equally-suspicious lines are never dropped arbitrarily.
+    """
+    ranked = marked_lines(counts)
+    if not ranked:
+        return []
+    keep = max(1, int(round(len(ranked) * fraction)))
+    cutoff = counts[ranked[keep - 1]]
+    while keep < len(ranked) and counts[ranked[keep]] == cutoff:
+        keep += 1
+    return ranked[:keep]

@@ -1,0 +1,58 @@
+"""Heuristic 1: the correcting potential of a suspect line.
+
+Second diagnosis step (§3.1): "for each line l, we invert the logic
+values in its Verr_l bit-list and propagate this difference throughout
+the fan-out cone of l ... Inversion and propagation of all of its values
+emulate the maximum effect any modification to this line can have on the
+circuit.  Once done, we count the number of erroneous primary outputs
+that are rectified and sort all lines according to these counts."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bitlists import DiagnosisState
+
+
+@dataclass(frozen=True)
+class LinePotential:
+    """Correcting potential of one candidate line."""
+
+    line: int
+    fixed_pairs: int          # failing (output, vector) pairs rectified
+    rectified_vectors: int    # failing vectors fully rectified
+    score: float              # fraction of failing pairs rectified
+
+    def qualifies(self, h1: float) -> bool:
+        return self.score >= h1
+
+
+def correcting_potential(state: DiagnosisState,
+                         line_index: int) -> LinePotential:
+    """Evaluate heuristic 1 for one line.
+
+    Only the failing-vector bits are inverted (that is exactly the
+    ``Verr`` bit-list); passing vectors are untouched, so the measured
+    effect is purely "how many failures could *any* modification of this
+    line possibly repair".
+    """
+    flipped = state.line_values(line_index) ^ state.err_mask
+    outcome = state.outcome_of_override(line_index, flipped)
+    denom = state.num_err_pairs if state.num_err_pairs else 1
+    return LinePotential(line_index, outcome.fixed_pairs,
+                         outcome.rectified_vectors,
+                         outcome.fixed_pairs / denom)
+
+
+def rank_lines(state: DiagnosisState, candidates,
+               h1: float) -> list[LinePotential]:
+    """Evaluate and sort candidate lines by decreasing potential.
+
+    Lines failing the ``h1`` threshold are dropped ("eliminate lines that
+    have no potential to lead towards an optimal solution", §3.1).
+    """
+    potentials = [correcting_potential(state, line) for line in candidates]
+    kept = [p for p in potentials if p.qualifies(h1)]
+    kept.sort(key=lambda p: (-p.fixed_pairs, p.line))
+    return kept

@@ -1,0 +1,36 @@
+"""Correction ranking (§3.3).
+
+"The corrections returned at level i are ranked according to the
+formula ``(1 - V_ratio) * h3 + V_ratio * h1`` and they are visited in
+the decreasing order of ranks during execution.  In this formula,
+V_ratio indicates the percentage of vectors with erroneous output
+responses in V prior to the correction."
+
+Intuition: when most vectors fail (V_ratio high) the engine prizes
+corrections that repair failures (h1); when few fail it prizes
+corrections that do not break passing vectors (h3).
+"""
+
+from __future__ import annotations
+
+from .bitlists import DiagnosisState
+from .screening import ScreenedCorrection
+
+
+def rank_value(v_ratio: float, h1_score: float, h3_score: float) -> float:
+    """The paper's ranking formula."""
+    return (1.0 - v_ratio) * h3_score + v_ratio * h1_score
+
+
+def rank_corrections(state: DiagnosisState,
+                     screened: list[ScreenedCorrection]
+                     ) -> list[tuple[float, ScreenedCorrection]]:
+    """Sort screened corrections by decreasing rank (ties: more Verr bits
+    complemented first, then deterministic correction order)."""
+    v_ratio = state.v_ratio
+    ranked = [(rank_value(v_ratio, sc.h1_score, sc.h3_score), sc)
+              for sc in screened]
+    ranked.sort(key=lambda pair: (-pair[0], -pair[1].complemented,
+                                  pair[1].correction.line,
+                                  pair[1].correction.kind.value))
+    return ranked

@@ -1,0 +1,147 @@
+"""Result objects returned by the diagnosis engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CorrectionRecord:
+    """One applied correction, in stable (name-based) coordinates.
+
+    ``signature`` survives netlist mutation and tree reordering, so a
+    correction *set* is the frozenset of its members' signatures.
+    """
+
+    signature: str          # e.g. "sa1@n12" or "gate_replace[NOR]@g7"
+    kind: str               # CorrectionKind value
+    site: str               # line description ("n12" / "n12->g7.1")
+    rank_position: int = 0  # position in its node's ranked list (0 = top)
+    round_found: int = 0    # decision-tree round that applied it
+
+    @property
+    def driver_name(self) -> str:
+        """Name of the gate driving the corrected line."""
+        return self.site.split("->", 1)[0]
+
+    @property
+    def polarity(self) -> int | None:
+        """Stuck value for sa corrections, else None."""
+        if self.kind == "sa0":
+            return 0
+        if self.kind == "sa1":
+            return 1
+        return None
+
+
+@dataclass(frozen=True)
+class Solution:
+    """A valid correction set: rectifies the design on every vector.
+
+    ``netlist`` is the corrected implementation itself (the netlist with
+    every correction already applied) — in DEDC mode this is the repaired
+    design, in stuck-at mode the fault-modeled good netlist that matches
+    the faulty device.
+    """
+
+    records: tuple
+    netlist: object = None  # repro.circuit.Netlist (kept loose for eq)
+
+    @property
+    def key(self) -> frozenset:
+        return frozenset(r.signature for r in self.records)
+
+    @property
+    def size(self) -> int:
+        return len(self.records)
+
+    @property
+    def sites(self) -> frozenset:
+        return frozenset(r.site for r in self.records)
+
+    def describe(self) -> str:
+        return " + ".join(sorted(r.signature for r in self.records))
+
+
+@dataclass
+class EngineStats:
+    """Timing and search-effort counters of one engine run."""
+
+    nodes: int = 0
+    rounds: int = 0
+    diag_time: float = 0.0    # path trace + heuristic 1 (per-node diagnosis)
+    corr_time: float = 0.0    # correction enumeration/screening/ranking
+    apply_time: float = 0.0   # structural application + re-simulation
+    total_time: float = 0.0
+    levels_tried: list = field(default_factory=list)  # "N=2 h=0.3/0.7/0.95"
+    truncated: bool = False   # hit the node budget
+
+    def merge(self, other: "EngineStats") -> None:
+        self.nodes += other.nodes
+        self.rounds = max(self.rounds, other.rounds)
+        self.diag_time += other.diag_time
+        self.corr_time += other.corr_time
+        self.apply_time += other.apply_time
+        self.total_time += other.total_time
+        self.levels_tried.extend(other.levels_tried)
+        self.truncated = self.truncated or other.truncated
+
+
+@dataclass
+class DiagnosisResult:
+    """Everything a caller gets back from one diagnosis run."""
+
+    solutions: list            # list[Solution], discovery order
+    stats: EngineStats
+    num_vectors: int = 0
+    initial_failing: int = 0
+
+    @property
+    def found(self) -> bool:
+        return bool(self.solutions)
+
+    @property
+    def min_size(self) -> int:
+        return min((s.size for s in self.solutions), default=0)
+
+    def distinct_sites(self) -> set:
+        """Distinct lines a test engineer would probe (Table 1 '# sites')."""
+        sites: set = set()
+        for sol in self.solutions:
+            sites |= set(sol.sites)
+        return sites
+
+    def summary(self) -> str:
+        lines = [f"{len(self.solutions)} correction set(s); "
+                 f"{len(self.distinct_sites())} distinct site(s); "
+                 f"{self.stats.nodes} tree node(s) in "
+                 f"{self.stats.total_time:.2f}s"]
+        for sol in self.solutions[:20]:
+            lines.append(f"  - {sol.describe()}")
+        if len(self.solutions) > 20:
+            lines.append(f"  ... +{len(self.solutions) - 20} more")
+        return "\n".join(lines)
+
+
+def matches_truth(solution: Solution, truth) -> bool:
+    """Tolerant ground-truth containment check.
+
+    Each injected fault/error must be covered by a correction in the
+    solution at the same driver gate (branch vs stem granularity is
+    forgiven — tying a stem constant when only one branch remains is the
+    same repair) with matching polarity for stuck-at records.
+    """
+    for rec in truth:
+        want_driver = rec.site.split("->", 1)[0]
+        want_pol = int(rec.kind[-1]) if rec.kind in ("sa0", "sa1") else None
+        covered = False
+        for cr in solution.records:
+            if cr.driver_name != want_driver:
+                continue
+            if want_pol is not None and cr.polarity != want_pol:
+                continue
+            covered = True
+            break
+        if not covered:
+            return False
+    return True

@@ -1,0 +1,220 @@
+"""SAT-based multiple stuck-at diagnosis (baseline).
+
+The same research group later recast diagnosis as Boolean satisfiability
+(Smith, Veneris & Viglas, *Design Diagnosis Using Boolean
+Satisfiability*).  This module implements that formulation over our
+from-scratch CDCL solver as an independent cross-check for the
+simulation-based engine:
+
+* every suspect line gets two selector variables (stuck-at-0 /
+  stuck-at-1, mutually exclusive);
+* the netlist is Tseitin-encoded once per *constraint vector*, with each
+  line's modeled value multiplexed between its driving function and the
+  selected stuck value;
+* output variables are pinned to the faulty device's observed responses;
+* a sequential-counter constraint caps the number of active selectors
+  at N, and solutions are enumerated with blocking clauses.
+
+Encoding all of V would be wasteful, so a subset of failing + passing
+vectors constrains the CNF and every SAT answer is then *verified by
+simulation* against the full vector set — candidates that only fit the
+subset are dropped (and their blocking clause keeps enumeration going).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..circuit.gatetypes import GateType
+from ..circuit.lines import LineTable
+from ..circuit.netlist import Netlist
+from ..faults.models import Correction, CorrectionKind, apply_correction
+from ..sat.cnf import CnfBuilder
+from ..sat.solver import SatSolver
+from ..sim.compare import equivalent
+from ..sim.logicsim import output_rows, simulate
+from ..sim.packing import PatternSet, WORD_BITS, bit_indices
+from .report import CorrectionRecord, Solution
+
+
+@dataclass
+class SatDiagnosisResult:
+    solutions: list = field(default_factory=list)
+    sat_candidates: int = 0     # models returned by the solver
+    verified: int = 0           # candidates surviving full-V simulation
+    total_time: float = 0.0
+    truncated: bool = False
+
+    @property
+    def found(self) -> bool:
+        return bool(self.solutions)
+
+
+class SatDiagnoser:
+    """Enumerate minimal stuck-at tuples explaining a faulty device."""
+
+    def __init__(self, device: Netlist, good: Netlist,
+                 patterns: PatternSet, max_faults: int = 2,
+                 max_constraint_vectors: int = 24,
+                 max_solutions: int = 64,
+                 time_budget: float | None = 60.0,
+                 suspects: list | None = None):
+        self.device = device
+        self.good = good
+        self.patterns = patterns
+        self.max_faults = max_faults
+        self.max_solutions = max_solutions
+        self.time_budget = time_budget
+        self.table = LineTable(good)
+        self.suspects = (list(suspects) if suspects is not None
+                         else [line.index for line in self.table])
+        self.device_out = output_rows(device,
+                                      simulate(device, patterns))
+        self.good_values = simulate(good, patterns)
+        self.good_out = output_rows(good, self.good_values)
+        self._constraint_vectors = self._pick_vectors(
+            max_constraint_vectors)
+
+    # ------------------------------------------------------------------
+    def _pick_vectors(self, cap: int) -> list[int]:
+        import numpy as np
+
+        from ..sim.compare import failing_vector_mask
+
+        fail = failing_vector_mask(self.device_out, self.good_out,
+                                   self.patterns.nbits)
+        failing = bit_indices(fail, self.patterns.nbits)
+        passing = [v for v in range(self.patterns.nbits)
+                   if v not in set(failing)]
+        half = max(1, cap // 2)
+        chosen = failing[:half] + passing[: cap - len(failing[:half])]
+        return chosen
+
+    def _observed_bit(self, po_pos: int, vector: int) -> bool:
+        word, bit = divmod(vector, WORD_BITS)
+        return bool((int(self.device_out[po_pos, word]) >> bit) & 1)
+
+    # ------------------------------------------------------------------
+    def _encode(self) -> tuple[CnfBuilder, dict]:
+        builder = CnfBuilder(SatSolver())
+        netlist = self.good
+        sel = {}
+        for line_index in self.suspects:
+            sel[line_index] = (builder.new_var(), builder.new_var())
+            builder.add([-sel[line_index][0], -sel[line_index][1]])
+        # suspects indexed by (kind: stem driver / branch sink+pin)
+        stem_sel = {}
+        pin_sel = {}
+        for line_index, (s0, s1) in sel.items():
+            line = self.table[line_index]
+            if line.is_stem:
+                stem_sel[line.driver] = (s0, s1)
+            else:
+                pin_sel[(line.sink, line.pin)] = (s0, s1)
+
+        for vector in self._constraint_vectors:
+            raw = {}       # gate -> fault-free function output var
+            modeled = {}   # gate -> value seen by consumers
+            vbits = self.patterns.vector(vector)
+            order = netlist.topo_order()
+            live = netlist.live_set() | set(netlist.inputs)
+            for idx in order:
+                if idx not in live:
+                    continue
+                gate = netlist.gates[idx]
+                var = builder.new_var()
+                raw[idx] = var
+                if gate.gtype is GateType.INPUT:
+                    position = netlist.inputs.index(idx)
+                    builder.constant(var, bool(vbits[position]))
+                else:
+                    pin_vars = []
+                    for pin, src in enumerate(gate.fanin):
+                        base = modeled[src]
+                        selector = pin_sel.get((idx, pin))
+                        if selector is None:
+                            pin_vars.append(base)
+                        else:
+                            s0, s1 = selector
+                            pv = builder.new_var()
+                            # s0 -> ~pv ; s1 -> pv ; else pv == base
+                            builder.add([-s0, -pv])
+                            builder.add([-s1, pv])
+                            builder.add([s0, s1, -pv, base])
+                            builder.add([s0, s1, pv, -base])
+                            pin_vars.append(pv)
+                    builder.encode_gate(gate.gtype, var, pin_vars)
+                selector = stem_sel.get(idx)
+                if selector is None:
+                    modeled[idx] = var
+                else:
+                    s0, s1 = selector
+                    mv = builder.new_var()
+                    builder.add([-s0, -mv])
+                    builder.add([-s1, mv])
+                    builder.add([s0, s1, -mv, var])
+                    builder.add([s0, s1, mv, -var])
+                    modeled[idx] = mv
+            for po_pos, po in enumerate(netlist.outputs):
+                builder.constant(modeled[po],
+                                 self._observed_bit(po_pos, vector))
+        return builder, sel
+
+    # ------------------------------------------------------------------
+    def _verify(self, picks: list) -> Solution | None:
+        """Simulate the candidate tuple against the full vector set."""
+        candidate = self.good.copy()
+        records = []
+        for line_index, value in picks:
+            kind = (CorrectionKind.STUCK_AT_1 if value
+                    else CorrectionKind.STUCK_AT_0)
+            corr = Correction(line_index, kind)
+            site = self.table.describe(line_index)
+            records.append(CorrectionRecord(f"sa{value}@{site}",
+                                            f"sa{value}", site))
+            apply_correction(candidate, self.table, corr)
+        out = output_rows(candidate, simulate(candidate, self.patterns))
+        if equivalent(out, self.device_out, self.patterns.nbits):
+            return Solution(tuple(records), candidate)
+        return None
+
+    def run(self) -> SatDiagnosisResult:
+        result = SatDiagnosisResult()
+        t0 = time.perf_counter()
+        deadline = t0 + self.time_budget if self.time_budget else None
+        for target in range(1, self.max_faults + 1):
+            builder, sel = self._encode()
+            all_selectors = [v for pair in sel.values() for v in pair]
+            builder.at_most_k(all_selectors, target)
+            builder.at_least_one(all_selectors)
+            solver = builder.solver
+            while len(result.solutions) < self.max_solutions:
+                if deadline and time.perf_counter() > deadline:
+                    result.truncated = True
+                    break
+                status = solver.solve()
+                if status is not True:
+                    break
+                model = solver.model()
+                picks = []
+                active = []
+                for line_index, (s0, s1) in sel.items():
+                    if model.get(s0):
+                        picks.append((line_index, 0))
+                        active.append(s0)
+                    if model.get(s1):
+                        picks.append((line_index, 1))
+                        active.append(s1)
+                result.sat_candidates += 1
+                solver.block(active)
+                solution = self._verify(picks)
+                if solution is not None:
+                    keys = {s.key for s in result.solutions}
+                    if solution.key not in keys:
+                        result.verified += 1
+                        result.solutions.append(solution)
+            if result.solutions or result.truncated:
+                break
+        result.total_time = time.perf_counter() - t0
+        return result

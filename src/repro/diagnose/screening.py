@@ -1,0 +1,110 @@
+"""Correction screening: Theorem 1 and heuristics 2 & 3.
+
+**Theorem 1** (§3.2): among the lines l1..lN of any valid correction set,
+the largest excitation set Vi has at least ``|V| / N`` vectors — so at
+least one member correction must complement at least that many bits of
+its line's ``Verr`` bit-list.  :func:`theorem1_bound` computes the bound;
+:func:`screen_verr` applies it (or the stricter empirical ``h2``
+threshold) with "a single simulation step on the gate driving l".
+
+**Heuristic 3** (§3.2): "Any qualifying correction may sensitize only a
+small number of new paths to previously correct primary outputs" — but
+not zero, because partially-corrected designs can legitimately get worse
+before they get better (the paper's Fig. 1 reconvergence example).
+:func:`evaluate_correction` measures the actual effect by bit-parallel
+propagation over the ``Vcorr`` bit-lists and rejects corrections whose
+kept-correct fraction falls below ``h3``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InjectionError
+from ..faults.models import Correction, corrected_line_words
+from ..sim.packing import popcount
+from .bitlists import DiagnosisState, OverrideOutcome
+
+
+def theorem1_bound(num_failing: int, num_errors: int) -> int:
+    """Minimum ``|Verr|`` bits the best member of an N-error correction
+    set must complement: ``ceil(|V| / N)`` by the pigeonhole principle."""
+    if num_failing <= 0:
+        return 0
+    if num_errors <= 0:
+        raise ValueError("num_errors must be positive")
+    return math.ceil(num_failing / num_errors)
+
+
+@dataclass
+class ScreenedCorrection:
+    """A correction that survived screening, with its measured effect."""
+
+    correction: Correction
+    new_words: np.ndarray
+    complemented: int          # Verr bits flipped (heuristic 2 count)
+    outcome: OverrideOutcome   # propagation effect (heuristics 1 & 3)
+    h1_score: float
+    h3_score: float
+
+    @property
+    def fixes_all(self) -> bool:
+        return self.outcome.fixes_all
+
+
+def predicted_words(state: DiagnosisState,
+                    corr: Correction) -> np.ndarray | None:
+    """Corrected line values, or None when structurally impossible."""
+    try:
+        return corrected_line_words(state.netlist, state.table, corr,
+                                    state.values)
+    except InjectionError:
+        return None
+
+
+def screen_verr(state: DiagnosisState, corr: Correction,
+                required_bits: int,
+                new_words: np.ndarray | None = None) -> int | None:
+    """Heuristic 2: count complemented ``Verr`` bits; None if rejected.
+
+    ``required_bits`` is either the empirical ``h2 * |Verr|`` threshold
+    or the Theorem 1 bound (exact mode).  A correction that changes no
+    bit at all (on failing or passing vectors) is also rejected — it is
+    a no-op.
+    """
+    if new_words is None:
+        new_words = predicted_words(state, corr)
+    if new_words is None:
+        return None
+    delta = new_words ^ state.line_values(corr.line)
+    complemented = popcount(delta & state.err_mask)
+    if complemented < max(required_bits, 1):
+        return None
+    return complemented
+
+
+def evaluate_correction(state: DiagnosisState, corr: Correction,
+                        required_bits: int,
+                        h3: float) -> ScreenedCorrection | None:
+    """Full screen: heuristic 2, then propagate and apply heuristic 3.
+
+    Returns None when the correction is screened out.  ``h3 <= 0``
+    disables the heuristic-3 screen (exact mode uses this so no valid
+    tuple is pruned).
+    """
+    new_words = predicted_words(state, corr)
+    if new_words is None:
+        return None
+    complemented = screen_verr(state, corr, required_bits, new_words)
+    if complemented is None:
+        return None
+    outcome = state.outcome_of_override(corr.line, new_words)
+    h1_score = outcome.h1_score(state)
+    h3_score = outcome.h3_score(state)
+    if h3 > 0 and h3_score < h3:
+        return None
+    return ScreenedCorrection(corr, new_words, complemented, outcome,
+                              h1_score, h3_score)

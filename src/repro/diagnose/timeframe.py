@@ -1,0 +1,263 @@
+"""Sequential (non-scan) stuck-at diagnosis via time-frame expansion.
+
+The paper's §4 extension: a physical fault in a sequential circuit is
+*one* defect that is present in **every** clock cycle, so in the
+time-frame-expanded model it occupies the same line in every frame.
+Joint corrections — tie the line's instance in all frames to the same
+constant — are therefore the unit of search here, reusing the packed
+bit-list screening of the combinational engine:
+
+* excitation screen: Theorem 1 applied to the union (over frames) of
+  complemented ``Verr`` bits;
+* ordering: actual post-correction failing count via one multi-stem
+  cone propagation;
+* iterative deepening on the number of faults, exactly like the exact
+  combinational protocol.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuit.lines import LineTable
+from ..circuit.netlist import Netlist
+from ..circuit.unroll import unroll
+from ..errors import DiagnosisError
+from ..sim.compare import masked
+from ..sim.logicsim import output_rows, propagate, simulate
+from ..sim.packing import popcount
+from .report import CorrectionRecord, EngineStats, Solution
+from .screening import theorem1_bound
+
+_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass
+class TimeFrameResult:
+    """Outcome of a sequential diagnosis run."""
+
+    solutions: list
+    stats: EngineStats
+    frames: int
+    num_sequences: int
+
+    @property
+    def found(self) -> bool:
+        return bool(self.solutions)
+
+    def distinct_sites(self) -> set:
+        sites: set = set()
+        for sol in self.solutions:
+            sites |= set(sol.sites)
+        return sites
+
+
+@dataclass
+class _JointState:
+    """Unrolled-model snapshot under a set of joint corrections."""
+
+    values: np.ndarray
+    err_mask: np.ndarray
+    num_err: int
+    forced: dict = field(default_factory=dict)  # line_index -> value
+
+
+class TimeFrameDiagnoser:
+    """Diagnose stuck-at faults in a non-scan sequential circuit.
+
+    Args:
+        spec: the good sequential netlist (with DFFs).
+        device_out_provider: the faulty design — any netlist with the
+            same interface (typically the physically faulty copy); it is
+            unrolled and simulated to obtain the observed responses.
+        sequences: iterable of input sequences (``frames`` cycles each,
+            one bit-vector per cycle).
+        frames: time frames to expand.
+        max_faults: largest joint-fault cardinality attempted.
+    """
+
+    def __init__(self, spec: Netlist, device: Netlist, sequences,
+                 frames: int = 8, max_faults: int = 2,
+                 max_nodes: int = 2000,
+                 time_budget: float | None = 60.0,
+                 initial_state: int = 0):
+        if spec.is_combinational:
+            raise DiagnosisError(
+                "time-frame diagnosis is for sequential circuits; use "
+                "IncrementalDiagnoser for combinational ones")
+        from ..circuit.unroll import pack_sequences
+
+        self.spec = spec
+        self.frames = frames
+        self.max_faults = max_faults
+        self.max_nodes = max_nodes
+        self.time_budget = time_budget
+        self.table = LineTable(spec)
+        self.model, self.umap = unroll(spec, frames,
+                                       initial_state=initial_state)
+        device_model, _ = unroll(device, frames,
+                                 initial_state=initial_state)
+        self.patterns = pack_sequences(spec, self.umap, sequences)
+        self.device_out = output_rows(
+            device_model, simulate(device_model, self.patterns))
+        self._line_instances = self._map_lines()
+        self._root = self._state_from_values(
+            simulate(self.model, self.patterns), {})
+
+    # ------------------------------------------------------------------
+    def _map_lines(self) -> dict:
+        """line index -> per-frame (stem signals, pin overrides).
+
+        A stem fault forces the signal's instance in every frame.  A
+        branch fault forces one pin of the sink's instance per frame;
+        when the sink is a flip-flop, its unrolled instance is the
+        explicit per-frame BUF whose pin 0 is the D input — frame 0's
+        BUF reads the reset constant, so the D branch only acts from
+        frame 1 on (faithful to the hardware: the reset value does not
+        travel through the faulty wire).
+        """
+        from ..circuit.gatetypes import GateType
+
+        mapping: dict = {}
+        for line in self.table:
+            stems = []
+            pins = []
+            sink_is_dff = (line.sink is not None and
+                           self.spec.gates[line.sink].gtype
+                           is GateType.DFF)
+            for t in range(self.frames):
+                inst = self.umap.instance[t]
+                driver = inst.get(line.driver)
+                if driver is None:
+                    continue
+                if line.is_stem:
+                    stems.append(driver)
+                    continue
+                sink = inst.get(line.sink)
+                if sink is None:
+                    continue
+                if sink_is_dff:
+                    if t >= 1:
+                        pins.append((sink, 0))
+                else:
+                    pins.append((sink, line.pin))
+            mapping[line.index] = (stems, pins)
+        return mapping
+
+    def _state_from_values(self, values: np.ndarray,
+                           forced: dict) -> _JointState:
+        out = values[self.model.outputs]
+        diff = masked(out ^ self.device_out, self.patterns.nbits)
+        err = np.bitwise_or.reduce(diff, axis=0)
+        return _JointState(values, err, popcount(err), dict(forced))
+
+    def _joint_delta(self, state: _JointState, line_index: int,
+                     value: int) -> np.ndarray:
+        """Union over frames of the bits a joint stuck-at would flip."""
+        stems, pins = self._line_instances[line_index]
+        delta = np.zeros_like(state.err_mask)
+        forced = np.full(len(delta), _ONES, dtype=np.uint64) if value \
+            else np.zeros(len(delta), dtype=np.uint64)
+        for sig in stems:
+            delta |= state.values[sig] ^ forced
+        for (sink, pin) in pins:
+            src = self.model.gates[sink].fanin[pin]
+            delta |= state.values[src] ^ forced
+        return delta
+
+    def _apply_joint(self, state: _JointState, line_index: int,
+                     value: int) -> _JointState:
+        """New state with the joint stuck-at imposed (value overrides,
+        no structural mutation — frames share nothing downstream that a
+        value override cannot express)."""
+        stems, pins = self._line_instances[line_index]
+        nwords = state.values.shape[1]
+        forced_row = (np.full(nwords, _ONES, dtype=np.uint64) if value
+                      else np.zeros(nwords, dtype=np.uint64))
+        stem_over = {sig: forced_row for sig in stems}
+        pin_over = {(sink, pin): forced_row for (sink, pin) in pins}
+        # previously forced lines must stay forced during re-propagation
+        for (prev_line, prev_value) in state.forced.items():
+            prev_row = (np.full(nwords, _ONES, dtype=np.uint64)
+                        if prev_value else
+                        np.zeros(nwords, dtype=np.uint64))
+            p_stems, p_pins = self._line_instances[prev_line]
+            for sig in p_stems:
+                stem_over.setdefault(sig, prev_row)
+            for key in p_pins:
+                pin_over.setdefault(key, prev_row)
+        changed = propagate(self.model, state.values,
+                            stem_overrides=stem_over,
+                            pin_overrides=pin_over)
+        values = np.array(state.values, copy=True)
+        for idx, row in changed.items():
+            values[idx] = row
+        forced = dict(state.forced)
+        forced[(line_index)] = value
+        return self._state_from_values(values, forced)
+
+    # ------------------------------------------------------------------
+    def run(self) -> TimeFrameResult:
+        stats = EngineStats()
+        t0 = time.perf_counter()
+        deadline = t0 + self.time_budget if self.time_budget else None
+        solutions: dict = {}
+        if self._root.num_err == 0:
+            stats.total_time = time.perf_counter() - t0
+            return TimeFrameResult([], stats, self.frames,
+                                   self.patterns.nbits)
+        budget = [self.max_nodes]
+
+        def dfs(state: _JointState, applied: tuple, target: int) -> None:
+            remaining = target - len(applied)
+            bound = theorem1_bound(state.num_err, remaining)
+            candidates = []
+            for line in self.table:
+                if line.index in state.forced:
+                    continue
+                for value in (0, 1):
+                    delta = self._joint_delta(state, line.index, value)
+                    excited = popcount(delta & state.err_mask)
+                    if excited >= max(1, bound):
+                        candidates.append((excited, line.index, value))
+            candidates.sort(key=lambda c: -c[0])
+            for _excited, line_index, value in candidates:
+                if budget[0] <= 0 or (deadline and
+                                      time.perf_counter() > deadline):
+                    stats.truncated = True
+                    return
+                budget[0] -= 1
+                child = self._apply_joint(state, line_index, value)
+                stats.nodes += 1
+                site = self.table.describe(line_index)
+                record = CorrectionRecord(f"sa{value}@{site}",
+                                          f"sa{value}", site)
+                child_applied = applied + (record,)
+                if child.num_err == 0:
+                    key = frozenset(r.signature for r in child_applied)
+                    solutions.setdefault(key, Solution(child_applied))
+                elif len(child_applied) < target:
+                    dfs(child, child_applied, target)
+
+        for target in range(1, self.max_faults + 1):
+            dfs(self._root, (), target)
+            if solutions:
+                break
+        stats.total_time = time.perf_counter() - t0
+        return TimeFrameResult(list(solutions.values()), stats,
+                               self.frames, self.patterns.nbits)
+
+
+def random_sequences(netlist: Netlist, count: int, frames: int,
+                     seed: int = 0) -> list:
+    """Random per-cycle stimulus for :class:`TimeFrameDiagnoser`."""
+    import random
+
+    rng = random.Random(seed)
+    num_pis = netlist.num_inputs
+    return [[[rng.randint(0, 1) for _ in range(num_pis)]
+             for _ in range(frames)]
+            for _ in range(count)]

@@ -1,0 +1,30 @@
+"""Validity checking of correction sets.
+
+The paper's notion of a *valid* correction set is simulation-based: the
+corrected implementation must produce the specification's responses for
+every vector in V (actual and equivalent corrections both qualify, §2).
+"""
+
+from __future__ import annotations
+
+from ..circuit.netlist import Netlist
+from ..sim.compare import equivalent
+from ..sim.logicsim import output_rows, simulate
+from ..sim.packing import PatternSet
+
+
+def rectifies(spec: Netlist, impl: Netlist, patterns: PatternSet) -> bool:
+    """True when ``impl`` matches ``spec`` on every vector of ``patterns``."""
+    spec_out = output_rows(spec, simulate(spec, patterns))
+    impl_out = output_rows(impl, simulate(impl, patterns))
+    return equivalent(spec_out, impl_out, patterns.nbits)
+
+
+def exhaustively_equivalent(spec: Netlist, impl: Netlist) -> bool:
+    """Ground-truth equivalence by exhaustive simulation (<= 20 PIs).
+
+    Used by tests on small circuits to distinguish *actual* corrections
+    from merely vector-set-equivalent ones.
+    """
+    patterns = PatternSet.exhaustive(spec.num_inputs)
+    return rectifies(spec, impl, patterns)

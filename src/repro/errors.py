@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro package."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (bad arity, unknown gate, cycle...)."""
+
+
+class ParseError(ReproError):
+    """Malformed input file (e.g. an ISCAS ``.bench`` netlist)."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+class SimulationError(ReproError):
+    """Invalid simulation request (shape mismatch, unknown signal...)."""
+
+
+class InjectionError(ReproError):
+    """A fault/error could not be injected at the requested location."""
+
+
+class DiagnosisError(ReproError):
+    """The diagnosis engine was configured or driven inconsistently."""

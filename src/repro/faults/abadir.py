@@ -1,0 +1,80 @@
+"""The Abadir–Ferguson–Kirkland design error model.
+
+The paper selects corrections "from a design error model, such as the one
+by Abadir et al. [1]" containing "ten different types of frequently
+occurring errors [2] such as gate type replacement, missing inverter,
+missing input wire etc." (§1).  This module defines those error types,
+the injection distribution, and the mapping between an injected *error*
+and the *correction kind* that repairs it.
+
+The paper draws error types "according to the distribution presented in
+[2]" (Campenhout, Hayes & Mudge, *Collection and analysis of
+microprocessor design errors*).  We do not have the original tables
+offline; ``DEFAULT_ERROR_DISTRIBUTION`` encodes the qualitative ranking
+reported there and in the follow-up DEDC literature — wrong/replaced
+gates and wire errors dominate, inverter errors are common, extra-gate
+errors are rarer (see DESIGN.md §4 substitution 4).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .models import CorrectionKind
+
+
+class ErrorType(enum.Enum):
+    """Design error classes injected into implementations (DEDC mode)."""
+
+    GATE_REPLACEMENT = "gate_replacement"    # wrong gate function
+    EXTRA_INVERTER = "extra_inverter"        # inverter that shouldn't exist
+    MISSING_INVERTER = "missing_inverter"    # inverter that was dropped
+    EXTRA_INPUT_WIRE = "extra_input_wire"    # gate has a spurious fanin
+    MISSING_INPUT_WIRE = "missing_input_wire"  # gate lost one fanin
+    WRONG_INPUT_WIRE = "wrong_input_wire"    # fanin connected elsewhere
+    EXTRA_GATE = "extra_gate"                # spurious gate on a net
+    MISSING_GATE = "missing_gate"            # a gate was dropped entirely
+
+
+#: error type -> correction kind that repairs it
+REPAIRING_KIND = {
+    ErrorType.GATE_REPLACEMENT: CorrectionKind.GATE_REPLACE,
+    ErrorType.EXTRA_INVERTER: CorrectionKind.REMOVE_INVERTER,
+    ErrorType.MISSING_INVERTER: CorrectionKind.INSERT_INVERTER,
+    ErrorType.EXTRA_INPUT_WIRE: CorrectionKind.REMOVE_INPUT_WIRE,
+    ErrorType.MISSING_INPUT_WIRE: CorrectionKind.ADD_INPUT_WIRE,
+    ErrorType.WRONG_INPUT_WIRE: CorrectionKind.REPLACE_INPUT_WIRE,
+    ErrorType.EXTRA_GATE: CorrectionKind.BYPASS_GATE,
+    ErrorType.MISSING_GATE: CorrectionKind.INSERT_GATE,
+}
+
+#: Injection distribution (weights; normalized at draw time).  Qualitative
+#: shape from Campenhout et al.: gate/module substitutions and wiring
+#: errors dominate logic-level bug reports; inverter polarity bugs are
+#: common; structural add/remove errors are rarer.
+DEFAULT_ERROR_DISTRIBUTION = {
+    ErrorType.GATE_REPLACEMENT: 0.27,
+    ErrorType.WRONG_INPUT_WIRE: 0.18,
+    ErrorType.MISSING_INVERTER: 0.13,
+    ErrorType.EXTRA_INVERTER: 0.09,
+    ErrorType.MISSING_INPUT_WIRE: 0.13,
+    ErrorType.EXTRA_INPUT_WIRE: 0.09,
+    ErrorType.EXTRA_GATE: 0.06,
+    ErrorType.MISSING_GATE: 0.05,
+}
+
+#: "Certain classes of faults and errors, such as gate related errors,
+#: are easier to excite than others such as wire related errors" (§3.2).
+GATE_RELATED = frozenset({
+    ErrorType.GATE_REPLACEMENT,
+    ErrorType.EXTRA_INVERTER,
+    ErrorType.MISSING_INVERTER,
+    ErrorType.EXTRA_GATE,
+    ErrorType.MISSING_GATE,
+})
+
+WIRE_RELATED = frozenset({
+    ErrorType.EXTRA_INPUT_WIRE,
+    ErrorType.MISSING_INPUT_WIRE,
+    ErrorType.WRONG_INPUT_WIRE,
+})

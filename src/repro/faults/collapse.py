@@ -1,0 +1,98 @@
+"""Structural stuck-at fault equivalence collapsing.
+
+Classic rules: an input stuck at the controlling value of an AND/OR gate
+is equivalent to the output stuck at the (possibly inverted) controlled
+value; NOT/BUF collapse both polarities across the gate.  Collapsing
+shrinks the ATPG fault list and lets the harness report *equivalent fault
+classes* the way the paper's Table 1 counts tuples ("equivalent fault
+classes [12]").
+"""
+
+from __future__ import annotations
+
+from ..circuit.gatetypes import GateType
+from ..circuit.lines import LineTable
+from ..circuit.netlist import Netlist
+from ..sim.faultsim import SimFault
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: dict = {}
+
+    def find(self, x):
+        parent = self.parent
+        root = parent.setdefault(x, x)
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def equivalence_classes(netlist: Netlist,
+                        table: LineTable | None = None) -> dict:
+    """Map each (line, value) fault to its equivalence-class root.
+
+    Keys and roots are ``(line_index, stuck_value)`` tuples; the root is
+    the smallest member of the class.
+    """
+    table = table or LineTable(netlist)
+    uf = _UnionFind()
+
+    def in_line(gate_index: int, pin: int) -> int:
+        branch = table.branch(gate_index, pin)
+        if branch is not None:
+            return branch.index
+        src = netlist.gates[gate_index].fanin[pin]
+        return table.stem(src).index
+
+    live = netlist.live_set() | set(netlist.inputs)
+    for gate in netlist.gates:
+        if gate.index not in live:
+            continue
+        out_line = table.stem(gate.index).index
+        gtype = gate.gtype
+        if gtype in (GateType.BUF, GateType.NOT):
+            inv = gtype is GateType.NOT
+            src = in_line(gate.index, 0)
+            uf.union((src, 0), (out_line, 1 if inv else 0))
+            uf.union((src, 1), (out_line, 0 if inv else 1))
+        elif gtype in (GateType.AND, GateType.NAND):
+            out_val = 1 if gtype is GateType.NAND else 0
+            for pin in range(len(gate.fanin)):
+                uf.union((in_line(gate.index, pin), 0),
+                         (out_line, out_val))
+        elif gtype in (GateType.OR, GateType.NOR):
+            out_val = 0 if gtype is GateType.NOR else 1
+            for pin in range(len(gate.fanin)):
+                uf.union((in_line(gate.index, pin), 1),
+                         (out_line, out_val))
+        # XOR/XNOR/sources: no structural collapsing.
+    # Ensure every fault appears, even singletons.
+    mapping = {}
+    for line in table:
+        for value in (0, 1):
+            mapping[(line.index, value)] = uf.find((line.index, value))
+    return mapping
+
+
+def collapsed_faults(netlist: Netlist,
+                     table: LineTable | None = None) -> list[SimFault]:
+    """One representative :class:`SimFault` per equivalence class."""
+    table = table or LineTable(netlist)
+    mapping = equivalence_classes(netlist, table)
+    roots = sorted(set(mapping.values()))
+    return [SimFault(line, value) for (line, value) in roots]
+
+
+def collapse_ratio(netlist: Netlist) -> float:
+    """|collapsed| / |all| — a quick quality metric for reports."""
+    table = LineTable(netlist)
+    total = 2 * len(table)
+    return len(collapsed_faults(netlist, table)) / total if total else 1.0

@@ -1,0 +1,252 @@
+"""Fault and design-error injection — the experiment workload maker.
+
+The paper corrupts each benchmark with 1–4 random stuck-at faults
+(Table 1) or 3–4 design errors drawn from the Campenhout distribution
+(Table 2), requiring the design-error workloads to be *observable*.
+:func:`inject_stuck_at_faults` and :func:`inject_design_errors` reproduce
+that setup and return the mutated netlist together with a ground-truth
+record for scoring.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..circuit.gatetypes import (GateType, REPLACEMENT_CLASSES, SOURCE_TYPES)
+from ..circuit.lines import LineTable
+from ..circuit.netlist import Netlist
+from ..errors import InjectionError
+from .abadir import DEFAULT_ERROR_DISTRIBUTION, ErrorType
+from .models import StuckAtFault
+
+
+@dataclass
+class InjectionRecord:
+    """Ground truth of one injected fault/error."""
+
+    kind: str                    # "sa0", "sa1" or an ErrorType value
+    site: str                    # line description in the *original* netlist
+    detail: str = ""             # e.g. "AND->NOR" or "pin1<-g42"
+
+
+@dataclass
+class Workload:
+    """A diagnosis problem instance: spec, faulty impl, ground truth."""
+
+    spec: Netlist
+    impl: Netlist
+    truth: list = field(default_factory=list)
+
+
+def inject_stuck_at_faults(netlist: Netlist, count: int,
+                           seed: int = 0) -> Workload:
+    """Inject ``count`` random stuck-at faults on distinct lines.
+
+    Fault locations and polarities are chosen uniformly (paper §4: "The
+    locations of the faults and errors were selected at random.  The type
+    of stuck-at faults was also selected at random").
+    """
+    rng = random.Random(seed)
+    table = LineTable(netlist)
+    if count > len(table):
+        raise InjectionError(
+            f"cannot inject {count} faults into {len(table)} lines")
+    impl = netlist.copy(f"{netlist.name}_f{count}_{seed}")
+    chosen = rng.sample(range(len(table)), count)
+    truth = []
+    for line_index in chosen:
+        line = table[line_index]
+        value = rng.randint(0, 1)
+        site = line.describe(netlist)
+        if line.is_stem:
+            impl.tie_stem_to_constant(line.driver, value)
+        else:
+            impl.tie_branch_to_constant(line.sink, line.pin, value)
+        truth.append(InjectionRecord(f"sa{value}", site))
+    return Workload(netlist, impl, truth)
+
+
+def ground_truth_faults(workload: Workload) -> list[StuckAtFault]:
+    """Ground truth as :class:`StuckAtFault` objects (stuck-at workloads)."""
+    return [StuckAtFault(rec.site, int(rec.kind[-1]))
+            for rec in workload.truth if rec.kind in ("sa0", "sa1")]
+
+
+# ----------------------------------------------------------------------
+# design-error injection
+# ----------------------------------------------------------------------
+def _draw_error_type(rng: random.Random, distribution) -> ErrorType:
+    types = list(distribution)
+    weights = [distribution[t] for t in types]
+    return rng.choices(types, weights=weights, k=1)[0]
+
+
+def _wire_source_candidates(netlist: Netlist, gate_index: int,
+                            rng: random.Random, limit: int = 30) -> list:
+    """Signals that may legally feed ``gate_index`` (no cycle)."""
+    forbidden = netlist.fanout_cone(gate_index)
+    fanin = set(netlist.gates[gate_index].fanin)
+    pool = [g.index for g in netlist.gates
+            if g.index not in forbidden and g.index not in fanin
+            and g.index in netlist.live_set() | set(netlist.inputs)]
+    rng.shuffle(pool)
+    return pool[:limit]
+
+
+def _inject_one_error(impl: Netlist, rng: random.Random,
+                      etype: ErrorType) -> InjectionRecord | None:
+    """Try to inject one error of type ``etype``; None if no legal site."""
+    live = sorted(impl.live_set() | set(impl.inputs))
+    logic = [i for i in live
+             if impl.gates[i].gtype not in SOURCE_TYPES
+             and impl.gates[i].gtype is not GateType.DFF]
+    if not logic:
+        return None
+    if etype is ErrorType.GATE_REPLACEMENT:
+        candidates = [i for i in logic
+                      if impl.gates[i].gtype in REPLACEMENT_CLASSES]
+        if not candidates:
+            return None
+        idx = rng.choice(candidates)
+        old = impl.gates[idx].gtype
+        choices = [t for t in REPLACEMENT_CLASSES[old]
+                   if t not in (GateType.XOR, GateType.XNOR)
+                   or len(impl.gates[idx].fanin) <= 4]
+        new = rng.choice(choices)
+        impl.set_gate_type(idx, new)
+        return InjectionRecord(etype.value, impl.gates[idx].name,
+                               f"{old.name}->{new.name}")
+    if etype is ErrorType.EXTRA_INVERTER:
+        idx = rng.choice(live)
+        name = impl.gates[idx].name
+        impl.insert_gate_on_stem(idx, GateType.NOT)
+        return InjectionRecord(etype.value, name, "inserted NOT")
+    if etype is ErrorType.MISSING_INVERTER:
+        nots = [i for i in logic if impl.gates[i].gtype is GateType.NOT]
+        if not nots:
+            return None
+        idx = rng.choice(nots)
+        name = impl.gates[idx].name
+        impl.bypass_gate(idx)
+        return InjectionRecord(etype.value, name, "removed NOT")
+    if etype is ErrorType.EXTRA_INPUT_WIRE:
+        gates = [i for i in logic
+                 if impl.gates[i].gtype in (GateType.AND, GateType.NAND,
+                                            GateType.OR, GateType.NOR)]
+        if not gates:
+            return None
+        idx = rng.choice(gates)
+        sources = _wire_source_candidates(impl, idx, rng)
+        if not sources:
+            return None
+        src = sources[0]
+        impl.add_fanin_pin(idx, src)
+        return InjectionRecord(etype.value, impl.gates[idx].name,
+                               f"+{impl.gates[src].name}")
+    if etype is ErrorType.MISSING_INPUT_WIRE:
+        gates = [i for i in logic if len(impl.gates[i].fanin) >= 3]
+        if not gates:
+            gates = [i for i in logic if len(impl.gates[i].fanin) == 2]
+        if not gates:
+            return None
+        idx = rng.choice(gates)
+        pin = rng.randrange(len(impl.gates[idx].fanin))
+        lost = impl.gates[impl.gates[idx].fanin[pin]].name
+        impl.remove_fanin_pin(idx, pin)
+        return InjectionRecord(etype.value, impl.gates[idx].name,
+                               f"-{lost}@pin{pin}")
+    if etype is ErrorType.EXTRA_GATE:
+        idx = rng.choice(live)
+        sources = _wire_source_candidates(impl, idx, rng)
+        if not sources:
+            return None
+        gtype = rng.choice((GateType.AND, GateType.OR,
+                            GateType.NAND, GateType.NOR, GateType.XOR))
+        name = impl.gates[idx].name
+        impl.insert_binary_on_stem(idx, gtype, sources[0])
+        return InjectionRecord(etype.value, name,
+                               f"+{gtype.name}({impl.gates[sources[0]].name})")
+    if etype is ErrorType.MISSING_GATE:
+        # drop a 2-input gate: its consumers read one fanin directly
+        gates = [i for i in logic if len(impl.gates[i].fanin) == 2
+                 and impl.gates[i].gtype not in (GateType.NOT,
+                                                 GateType.BUF)]
+        if not gates:
+            return None
+        idx = rng.choice(gates)
+        pin = rng.randrange(2)
+        survivor = impl.gates[idx].fanin[pin]
+        name = impl.gates[idx].name
+        for g in impl.gates:
+            g.fanin = [survivor if s == idx else s for s in g.fanin]
+        impl.outputs = [survivor if out == idx else out
+                        for out in impl.outputs]
+        impl._dirty()
+        return InjectionRecord(etype.value, name,
+                               f"dropped, kept {impl.gates[survivor].name}")
+    if etype is ErrorType.WRONG_INPUT_WIRE:
+        idx = rng.choice(logic)
+        gate = impl.gates[idx]
+        if not gate.fanin:
+            return None
+        pin = rng.randrange(len(gate.fanin))
+        sources = _wire_source_candidates(impl, idx, rng)
+        if not sources:
+            return None
+        src = sources[0]
+        old = impl.gates[gate.fanin[pin]].name
+        impl.replace_fanin_pin(idx, pin, src)
+        return InjectionRecord(etype.value, gate.name,
+                               f"pin{pin}:{old}->{impl.gates[src].name}")
+    return None
+
+
+def inject_design_errors(netlist: Netlist, count: int, seed: int = 0,
+                         distribution=None,
+                         max_attempts: int = 200) -> Workload:
+    """Inject ``count`` design errors drawn from ``distribution``.
+
+    Error types follow ``distribution`` (default: the Campenhout-style
+    :data:`~repro.faults.abadir.DEFAULT_ERROR_DISTRIBUTION`); locations
+    are uniform over legal sites.  Observability is *not* checked here —
+    use :func:`observable_design_error_workload` which retries until the
+    faulty implementation actually fails some vector, as the paper
+    requires ("all errors considered are observable", §4.2).
+    """
+    distribution = distribution or DEFAULT_ERROR_DISTRIBUTION
+    rng = random.Random(seed)
+    impl = netlist.copy(f"{netlist.name}_e{count}_{seed}")
+    truth: list[InjectionRecord] = []
+    attempts = 0
+    while len(truth) < count and attempts < max_attempts:
+        attempts += 1
+        etype = _draw_error_type(rng, distribution)
+        record = _inject_one_error(impl, rng, etype)
+        if record is not None:
+            truth.append(record)
+    if len(truth) < count:
+        raise InjectionError(
+            f"could not place {count} errors in {netlist.name!r}")
+    return Workload(netlist, impl, truth)
+
+
+def observable_design_error_workload(netlist: Netlist, count: int,
+                                     patterns, seed: int = 0,
+                                     distribution=None,
+                                     max_retries: int = 25) -> Workload:
+    """Like :func:`inject_design_errors` but retries (bumping the seed)
+    until the implementation fails at least one vector of ``patterns``."""
+    from ..sim.logicsim import output_rows, simulate
+
+    spec_out = output_rows(netlist, simulate(netlist, patterns))
+    for retry in range(max_retries):
+        workload = inject_design_errors(netlist, count,
+                                        seed + 1000 * retry, distribution)
+        impl_out = output_rows(workload.impl,
+                               simulate(workload.impl, patterns))
+        if not (spec_out == impl_out).all():
+            return workload
+    raise InjectionError(
+        f"no observable {count}-error workload found for "
+        f"{netlist.name!r} after {max_retries} retries")

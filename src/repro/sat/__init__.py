@@ -1,0 +1,6 @@
+"""From-scratch CDCL SAT solver and CNF builders."""
+
+from .solver import SatSolver, SolverStats
+from .cnf import CnfBuilder
+
+__all__ = ["SatSolver", "SolverStats", "CnfBuilder"]

@@ -1,0 +1,281 @@
+"""A small CDCL SAT solver.
+
+Built from scratch for the SAT-based diagnosis baseline
+(:mod:`repro.diagnose.satdiag`): conflict-driven clause learning with
+first-UIP learning, two-watched-literal propagation, activity-based
+(VSIDS-lite) decisions, geometric restarts and solution enumeration via
+blocking clauses.  It is deliberately compact rather than competitive —
+circuit-diagnosis CNFs at our benchmark sizes solve in milliseconds.
+
+Literal convention: DIMACS-style nonzero ints; variable ``v`` is
+``v`` (true) or ``-v`` (false); variables are 1-indexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SolverStats:
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned: int = 0
+    restarts: int = 0
+
+
+class SatSolver:
+    """CDCL solver over clauses added with :meth:`add_clause`."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = num_vars
+        self.clauses: list[list[int]] = []
+        self._watches: dict[int, list[int]] = {}
+        self.assign: dict[int, bool] = {}
+        self._trail: list[int] = []           # literals in assign order
+        self._trail_lim: list[int] = []       # decision-level markers
+        self._reason: dict[int, int | None] = {}   # var -> clause idx
+        self._level: dict[int, int] = {}
+        self._activity: dict[int, float] = {}
+        self._act_inc = 1.0
+        self.stats = SolverStats()
+        self._ok = True
+        self._qhead = 0
+        self._units: list[int] = []
+
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals) -> None:
+        """Add a clause (iterable of nonzero ints).  Empty -> UNSAT."""
+        clause = sorted(set(int(l) for l in literals), key=abs)
+        if any(l == 0 for l in clause):
+            raise ValueError("literal 0 is not allowed")
+        if any(-l in clause for l in clause):
+            return  # tautology
+        for lit in clause:
+            self.num_vars = max(self.num_vars, abs(lit))
+        if not clause:
+            self._ok = False
+            return
+        if len(clause) == 1:
+            self._units.append(clause[0])
+            return
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        for lit in clause[:2]:
+            self._watches.setdefault(-lit, []).append(index)
+
+    # ------------------------------------------------------------------
+    def _value(self, lit: int):
+        var = abs(lit)
+        if var not in self.assign:
+            return None
+        val = self.assign[var]
+        return val if lit > 0 else not val
+
+    def _enqueue(self, lit: int, reason: int | None) -> bool:
+        value = self._value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self.assign[var] = lit > 0
+        self._reason[var] = reason
+        self._level[var] = len(self._trail_lim)
+        self._trail.append(lit)
+        self.stats.propagations += 1
+        return True
+
+    def _propagate(self) -> int | None:
+        """Unit propagation of everything queued on the trail.
+
+        Returns the index of a conflicting clause, or None.
+        """
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            watch_list = self._watches.get(lit, [])
+            kept: list[int] = []
+            i = 0
+            while i < len(watch_list):
+                ci = watch_list[i]
+                i += 1
+                clause = self.clauses[ci]
+                # ensure the falsified literal sits at position 1
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) is True:
+                    kept.append(ci)
+                    continue
+                # search replacement watch
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(-clause[1],
+                                                 []).append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(ci)
+                if self._value(clause[0]) is False:
+                    kept.extend(watch_list[i:])
+                    self._watches[lit] = kept
+                    self._qhead = len(self._trail)
+                    return ci  # conflict
+                self._enqueue(clause[0], ci)
+            self._watches[lit] = kept
+        return None
+
+    # ------------------------------------------------------------------
+    def _bump(self, var: int) -> None:
+        self._activity[var] = self._activity.get(var, 0.0) \
+            + self._act_inc
+        if self._activity[var] > 1e100:
+            for key in self._activity:
+                self._activity[key] *= 1e-100
+            self._act_inc *= 1e-100
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        """First-UIP conflict analysis -> (learned clause, backjump lvl)."""
+        level = len(self._trail_lim)
+        seen: set[int] = set()
+        learned: list[int] = []
+        counter = 0
+        lit = None
+        clause = list(self.clauses[conflict])
+        index = len(self._trail) - 1
+        while True:
+            for l in clause:
+                var = abs(l)
+                if var in seen or (lit is not None and l == -lit):
+                    continue
+                if l == lit:
+                    continue
+                if var not in self._level:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level[var] == level and self._level[var] > 0:
+                    counter += 1
+                elif self._level[var] > 0:
+                    learned.append(l)
+            # find next trail literal to resolve on
+            while index >= 0 and abs(self._trail[index]) not in seen:
+                index -= 1
+            if index < 0:
+                break
+            lit = self._trail[index]
+            var = abs(lit)
+            seen.discard(var)
+            index -= 1
+            counter -= 1
+            if counter <= 0:
+                learned.append(-lit)
+                break
+            reason = self._reason.get(var)
+            if reason is None:
+                learned.append(-lit)
+                break
+            clause = [l for l in self.clauses[reason] if l != lit]
+        if not learned:
+            return [], 0
+        # backjump to the second-highest level in the learned clause
+        uip = learned[-1]
+        rest_levels = [self._level.get(abs(l), 0) for l in learned[:-1]]
+        back = max(rest_levels, default=0)
+        # order: UIP first (asserting literal)
+        learned = [uip] + learned[:-1]
+        return learned, back
+
+    def _backjump(self, level: int) -> None:
+        while len(self._trail_lim) > level:
+            mark = self._trail_lim.pop()
+            while len(self._trail) > mark:
+                lit = self._trail.pop()
+                var = abs(lit)
+                del self.assign[var]
+                self._reason.pop(var, None)
+                self._level.pop(var, None)
+        self._qhead = min(self._qhead, len(self._trail))
+
+    def _decide(self) -> int | None:
+        best, best_act = None, -1.0
+        for var in range(1, self.num_vars + 1):
+            if var not in self.assign:
+                act = self._activity.get(var, 0.0)
+                if act > best_act:
+                    best, best_act = var, act
+        return best
+
+    # ------------------------------------------------------------------
+    def solve(self, assumptions=(), conflict_limit: int | None = None
+              ) -> bool | None:
+        """True = SAT (model in :attr:`assign`), False = UNSAT,
+        None = conflict limit exceeded."""
+        if not self._ok:
+            return False
+        self._backjump(0)
+        self._qhead = 0
+        for lit in self._units:
+            if self._value(lit) is False:
+                return False
+            self._enqueue(lit, None)
+        if self._propagate() is not None:
+            return False
+        for lit in assumptions:
+            if self._value(lit) is False:
+                self._backjump(0)
+                return False
+            if self._value(lit) is None:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                if self._propagate() is not None:
+                    self._backjump(0)
+                    return False
+        base_level = len(self._trail_lim)
+        budget = conflict_limit
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                if budget is not None:
+                    budget -= 1
+                    if budget <= 0:
+                        self._backjump(0)
+                        return None
+                if len(self._trail_lim) <= base_level:
+                    self._backjump(0)
+                    return False
+                learned, back = self._analyze(conflict)
+                if not learned:
+                    self._backjump(0)
+                    return False
+                self._backjump(max(back, base_level))
+                index = len(self.clauses)
+                self.clauses.append(learned)
+                self.stats.learned += 1
+                for lit in learned[:2]:
+                    self._watches.setdefault(-lit, []).append(index)
+                self._enqueue(learned[0], index
+                              if len(learned) > 1 else None)
+                self._act_inc *= 1.05
+            else:
+                var = self._decide()
+                if var is None:
+                    return True
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(var, None)
+
+    def model(self) -> dict:
+        """Current satisfying assignment {var: bool} (call after SAT)."""
+        return dict(self.assign)
+
+    def block(self, literals) -> None:
+        """Add a blocking clause forbidding the given literal set."""
+        self.add_clause([-l for l in literals])

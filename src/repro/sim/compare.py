@@ -1,0 +1,49 @@
+"""Output comparison utilities: error masks over packed vectors.
+
+Everything downstream of simulation (bit-lists, screening, verification)
+reasons about *which vectors fail*.  These helpers produce tail-masked
+packed difference masks so padding bits never leak into counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .packing import popcount, tail_mask
+
+
+def masked(words: np.ndarray, nbits: int) -> np.ndarray:
+    """Copy of ``words`` with the tail padding of the last word cleared."""
+    out = np.array(words, dtype=np.uint64, copy=True)
+    if out.ndim == 1:
+        out[-1] &= tail_mask(nbits)
+    else:
+        out[..., -1] &= tail_mask(nbits)
+    return out
+
+
+def diff_rows(spec_rows: np.ndarray, impl_rows: np.ndarray,
+              nbits: int) -> np.ndarray:
+    """Per-output packed mismatch masks (tail-masked)."""
+    return masked(spec_rows ^ impl_rows, nbits)
+
+
+def failing_vector_mask(spec_rows: np.ndarray, impl_rows: np.ndarray,
+                        nbits: int) -> np.ndarray:
+    """1-D packed mask of vectors failing on *any* output (tail-masked)."""
+    diff = diff_rows(spec_rows, impl_rows, nbits)
+    if diff.ndim == 1:
+        return diff
+    return np.bitwise_or.reduce(diff, axis=0)
+
+
+def equivalent(spec_rows: np.ndarray, impl_rows: np.ndarray,
+               nbits: int) -> bool:
+    """True when the two circuits agree on every (real) vector."""
+    return popcount(failing_vector_mask(spec_rows, impl_rows, nbits)) == 0
+
+
+def count_failing(spec_rows: np.ndarray, impl_rows: np.ndarray,
+                  nbits: int) -> int:
+    """Number of failing vectors."""
+    return popcount(failing_vector_mask(spec_rows, impl_rows, nbits))

@@ -1,0 +1,171 @@
+"""Levelized bit-parallel logic simulation.
+
+Simulates 64 test vectors per ``uint64`` word with numpy kernels.  Two
+entry points:
+
+* :func:`simulate` — full-circuit simulation, returning a value matrix
+  (one packed row per gate/signal).
+* :func:`propagate` — incremental re-simulation of the fanout cone of a
+  set of overridden signals/pins, returning only the changed rows.  This
+  is the workhorse behind the paper's heuristic 1 (invert a suspect
+  line's failing values and push the difference to the outputs) and
+  heuristic 3 (push a candidate correction's effect across the passing
+  vectors).
+
+Overrides come in two flavours mirroring the line model: a *stem*
+override replaces a signal everywhere; a *pin* override replaces the
+value seen by one specific (gate, pin) — i.e. a fanout branch.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..circuit.gatetypes import GateType, eval_words
+from ..circuit.netlist import Netlist
+from ..errors import SimulationError
+from .packing import PatternSet
+
+
+def simulate(netlist: Netlist, patterns: PatternSet,
+             ppi_values: Mapping[int, np.ndarray] | None = None
+             ) -> np.ndarray:
+    """Simulate all patterns; returns a (num_gates x num_words) matrix.
+
+    ``patterns`` rows map to ``netlist.inputs`` in order.  DFF gates act
+    as pseudo-inputs: their packed values come from ``ppi_values`` (zeros
+    if absent) — full-scan models have no DFFs left, so most callers never
+    pass it.  Detached gates get zero rows.
+    """
+    pis = netlist.inputs
+    if patterns.num_inputs != len(pis):
+        raise SimulationError(
+            f"pattern set has {patterns.num_inputs} inputs, netlist "
+            f"{netlist.name!r} has {len(pis)}")
+    nwords = patterns.num_words
+    values = np.zeros((len(netlist.gates), nwords), dtype=np.uint64)
+    for row, pi in enumerate(pis):
+        values[pi] = patterns.words[row]
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    gates = netlist.gates
+    for idx in netlist.topo_order():
+        gate = gates[idx]
+        gtype = gate.gtype
+        if gtype is GateType.INPUT:
+            continue
+        if gtype is GateType.DFF:
+            if ppi_values and idx in ppi_values:
+                values[idx] = ppi_values[idx]
+            continue
+        if gtype is GateType.CONST0:
+            continue
+        if gtype is GateType.CONST1:
+            values[idx] = ones
+            continue
+        values[idx] = eval_words(gtype, [values[src] for src in gate.fanin])
+    return values
+
+
+def output_rows(netlist: Netlist, values: np.ndarray) -> np.ndarray:
+    """Slice the primary-output rows out of a value matrix (PO order)."""
+    return values[netlist.outputs]
+
+
+def propagate(netlist: Netlist, values: np.ndarray,
+              stem_overrides: Mapping[int, np.ndarray] | None = None,
+              pin_overrides: Mapping[tuple, np.ndarray] | None = None,
+              cone: set | None = None) -> dict:
+    """Re-simulate the fanout cone of the overridden signals.
+
+    Args:
+        values: baseline value matrix from :func:`simulate` (not modified).
+        stem_overrides: {signal: packed words} forced for all consumers.
+        pin_overrides: {(sink_gate, pin): packed words} forced for one pin.
+        cone: optional precomputed union fanout cone (gate index set); pass
+            it when the caller caches cones to skip recomputation.
+
+    Returns:
+        {gate_index: new packed words} for every gate whose value differs
+        from the baseline, **plus** all overridden stems (even when equal).
+        Look up a gate first in this dict, then in ``values``.
+    """
+    stem_overrides = dict(stem_overrides or {})
+    pin_overrides = dict(pin_overrides or {})
+    if not stem_overrides and not pin_overrides:
+        return {}
+    if cone is None:
+        cone = set()
+        for sig in stem_overrides:
+            cone |= netlist.fanout_cone(sig)
+        for (sink, _pin) in pin_overrides:
+            cone |= netlist.fanout_cone(sink)
+            cone.discard(sink)
+            cone.add(sink)
+    changed: dict = dict(stem_overrides)
+    gates = netlist.gates
+    order = netlist.topo_order()
+    for idx in order:
+        if idx not in cone:
+            continue
+        gate = gates[idx]
+        if idx in stem_overrides:
+            continue  # forced value, do not recompute
+        if gate.gtype in (GateType.INPUT, GateType.DFF,
+                          GateType.CONST0, GateType.CONST1):
+            continue
+        ins = []
+        for pin, src in enumerate(gate.fanin):
+            override = pin_overrides.get((idx, pin))
+            if override is not None:
+                ins.append(override)
+            elif src in changed:
+                ins.append(changed[src])
+            else:
+                ins.append(values[src])
+        new = eval_words(gate.gtype, ins)
+        if not np.array_equal(new, values[idx]):
+            changed[idx] = new
+        elif idx in changed:
+            del changed[idx]
+    return changed
+
+
+def lookup(changed: dict, values: np.ndarray, idx: int) -> np.ndarray:
+    """Value row for ``idx`` after a :func:`propagate` call."""
+    row = changed.get(idx)
+    return values[idx] if row is None else row
+
+
+class Simulator:
+    """Convenience wrapper caching the value matrix for one netlist +
+    pattern set, with cone caching for repeated :func:`propagate` calls."""
+
+    def __init__(self, netlist: Netlist, patterns: PatternSet):
+        self.netlist = netlist
+        self.patterns = patterns
+        self.values = simulate(netlist, patterns)
+        self._cones: dict[int, set] = {}
+
+    def cone_of(self, signal: int) -> set:
+        cone = self._cones.get(signal)
+        if cone is None:
+            cone = self.netlist.fanout_cone(signal)
+            self._cones[signal] = cone
+        return cone
+
+    def outputs(self) -> np.ndarray:
+        return output_rows(self.netlist, self.values)
+
+    def propagate_stem(self, signal: int,
+                       words: np.ndarray) -> dict:
+        return propagate(self.netlist, self.values,
+                         stem_overrides={signal: words},
+                         cone=self.cone_of(signal))
+
+    def propagate_pin(self, sink: int, pin: int,
+                      words: np.ndarray) -> dict:
+        cone = self.cone_of(sink) | {sink}
+        return propagate(self.netlist, self.values,
+                         pin_overrides={(sink, pin): words}, cone=cone)

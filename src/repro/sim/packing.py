@@ -1,0 +1,165 @@
+"""Bit-packing utilities for 64-way parallel-pattern simulation.
+
+Vectors are packed along ``uint64`` words: bit *i* of word *w* holds the
+value under test vector ``64*w + i``.  A :class:`PatternSet` stores the
+primary-input stimulus in that packed form plus the metadata (vector
+count, tail mask) that counting utilities need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+WORD_BITS = 64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+# numpy >= 2.0 ships a native popcount; otherwise use a 16-bit table.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+if not _HAS_BITWISE_COUNT:  # pragma: no cover - depends on numpy version
+    _POP16 = np.array([bin(i).count("1") for i in range(1 << 16)],
+                      dtype=np.uint8)
+
+
+def num_words(nbits: int) -> int:
+    """Words needed to hold ``nbits`` packed bits."""
+    return (nbits + WORD_BITS - 1) // WORD_BITS
+
+
+def tail_mask(nbits: int) -> np.uint64:
+    """Mask of valid bits in the final word of an ``nbits`` stream."""
+    rem = nbits % WORD_BITS
+    if rem == 0:
+        return _ALL_ONES
+    return np.uint64((1 << rem) - 1)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits across ``words`` (any shape)."""
+    if _HAS_BITWISE_COUNT:
+        return int(np.bitwise_count(words).sum())
+    w = words.reshape(-1).view(np.uint64)
+    total = 0
+    for shift in (0, 16, 32, 48):
+        total += int(_POP16[(w >> np.uint64(shift))
+                            & np.uint64(0xFFFF)].sum())
+    return total
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a (signals x nbits) 0/1 array into (signals x words) uint64."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.ndim == 1:
+        bits = bits[np.newaxis, :]
+    nsig, nbits = bits.shape
+    words = np.zeros((nsig, num_words(nbits)), dtype=np.uint64)
+    for i in range(nbits):
+        w, b = divmod(i, WORD_BITS)
+        words[:, w] |= bits[:, i].astype(np.uint64) << np.uint64(b)
+    return words
+
+
+def unpack_bits(words: np.ndarray, nbits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: (signals x words) -> (signals x nbits)."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim == 1:
+        words = words[np.newaxis, :]
+    nsig = words.shape[0]
+    bits = np.zeros((nsig, nbits), dtype=np.uint8)
+    for i in range(nbits):
+        w, b = divmod(i, WORD_BITS)
+        bits[:, i] = ((words[:, w] >> np.uint64(b)) & np.uint64(1)
+                      ).astype(np.uint8)
+    return bits
+
+
+def bit_indices(words: np.ndarray, nbits: int) -> list[int]:
+    """Indices of set bits (vector numbers) in a packed 1-D stream."""
+    out: list[int] = []
+    flat = np.asarray(words, dtype=np.uint64).reshape(-1)
+    for w, word in enumerate(flat):
+        word = int(word)
+        base = w * WORD_BITS
+        while word:
+            low = word & -word
+            idx = base + low.bit_length() - 1
+            if idx < nbits:
+                out.append(idx)
+            word ^= low
+    return out
+
+
+class PatternSet:
+    """A packed set of input test vectors for a fixed number of PIs."""
+
+    def __init__(self, words: np.ndarray, nbits: int):
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 2:
+            raise SimulationError("PatternSet expects a 2-D word array")
+        if words.shape[1] != num_words(nbits):
+            raise SimulationError(
+                f"word count {words.shape[1]} does not match "
+                f"{nbits} vectors")
+        self.words = words
+        self.nbits = nbits
+
+    @property
+    def num_inputs(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def num_words(self) -> int:
+        return self.words.shape[1]
+
+    def __len__(self) -> int:
+        return self.nbits
+
+    @classmethod
+    def from_vectors(cls, vectors) -> "PatternSet":
+        """Build from an iterable of 0/1 sequences (one per vector)."""
+        mat = np.asarray(list(vectors), dtype=np.uint8)
+        if mat.ndim != 2:
+            raise SimulationError("expected a 2-D vector array")
+        return cls(pack_bits(mat.T), mat.shape[0])
+
+    @classmethod
+    def random(cls, num_inputs: int, nbits: int, seed: int = 0,
+               one_probability: float = 0.5) -> "PatternSet":
+        """Uniform (or weighted) random patterns."""
+        rng = np.random.default_rng(seed)
+        bits = (rng.random((num_inputs, nbits)) < one_probability)
+        return cls(pack_bits(bits.astype(np.uint8)), nbits)
+
+    @classmethod
+    def exhaustive(cls, num_inputs: int) -> "PatternSet":
+        """All 2^n vectors (n <= 20 guards accidental blow-ups)."""
+        if num_inputs > 20:
+            raise SimulationError(
+                f"refusing exhaustive pattern set for {num_inputs} inputs")
+        nbits = 1 << num_inputs
+        bits = np.zeros((num_inputs, nbits), dtype=np.uint8)
+        for v in range(nbits):
+            for i in range(num_inputs):
+                bits[i, v] = (v >> i) & 1
+        return cls(pack_bits(bits), nbits)
+
+    def vector(self, index: int) -> np.ndarray:
+        """Unpacked 0/1 values of vector ``index`` (one per PI)."""
+        if not 0 <= index < self.nbits:
+            raise SimulationError(f"vector index {index} out of range")
+        w, b = divmod(index, WORD_BITS)
+        return ((self.words[:, w] >> np.uint64(b)) & np.uint64(1)
+                ).astype(np.uint8)
+
+    def concat(self, other: "PatternSet") -> "PatternSet":
+        """Concatenate two pattern sets over the same inputs."""
+        if other.num_inputs != self.num_inputs:
+            raise SimulationError("input count mismatch in concat")
+        a = unpack_bits(self.words, self.nbits)
+        b = unpack_bits(other.words, other.nbits)
+        both = np.concatenate([a, b], axis=1)
+        return PatternSet(pack_bits(both), self.nbits + other.nbits)
+
+    def tail_mask(self) -> np.uint64:
+        return tail_mask(self.nbits)

@@ -1,0 +1,76 @@
+"""VCD (Value Change Dump) export of simulated patterns.
+
+Diagnosis sessions end with a human staring at waveforms.  This writes
+the packed simulation results of selected signals as a standard VCD
+file, one timestep per test vector, loadable in GTKWave & friends.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..circuit.netlist import Netlist
+from ..errors import SimulationError
+from .packing import WORD_BITS
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short printable VCD identifier for signal #index."""
+    base = len(_ID_CHARS)
+    out = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, base)
+        out.append(_ID_CHARS[rem])
+    return "".join(reversed(out))
+
+
+def write_vcd(path, netlist: Netlist, values: np.ndarray, nbits: int,
+              signals=None, timescale: str = "1ns",
+              comment: str | None = None) -> None:
+    """Write a VCD of ``values`` (packed matrix from ``simulate``).
+
+    Args:
+        signals: iterable of gate indices or names to dump (default: all
+            primary inputs and outputs).
+        nbits: number of valid vectors (timesteps).
+    """
+    if signals is None:
+        chosen = list(netlist.inputs) + list(netlist.outputs)
+    else:
+        chosen = [netlist.index_of(s) if isinstance(s, str) else int(s)
+                  for s in signals]
+    seen: set = set()
+    ordered = [s for s in chosen if not (s in seen or seen.add(s))]
+    for sig in ordered:
+        if not 0 <= sig < values.shape[0]:
+            raise SimulationError(f"signal index {sig} out of range")
+    idents = {sig: _identifier(pos) for pos, sig in enumerate(ordered)}
+    lines = ["$date", "  repro simulation dump", "$end",
+             f"$timescale {timescale} $end",
+             f"$scope module {netlist.name} $end"]
+    if comment:
+        lines[2:2] = ["$comment", f"  {comment}", "$end"]
+    for sig in ordered:
+        lines.append(
+            f"$var wire 1 {idents[sig]} {netlist.gates[sig].name} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+    previous: dict = {}
+    for step in range(nbits):
+        word, bit = divmod(step, WORD_BITS)
+        changes = []
+        for sig in ordered:
+            value = (int(values[sig, word]) >> bit) & 1
+            if previous.get(sig) != value:
+                changes.append(f"{value}{idents[sig]}")
+                previous[sig] = value
+        if changes or step == 0:
+            lines.append(f"#{step}")
+            lines.extend(changes)
+    lines.append(f"#{nbits}")
+    Path(path).write_text("\n".join(lines) + "\n")

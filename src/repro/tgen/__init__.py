@@ -1,0 +1,20 @@
+"""Test vector generation: random, deterministic (PODEM) and compaction."""
+
+from .randgen import (coverage_driven_patterns, patterns_from_vectors,
+                      random_patterns)
+from .podem import Podem, PodemStats, eval3, fill_assignment
+from .compaction import reverse_order_compact
+from .flows import diagnosis_vectors, deterministic_patterns
+from .distinguish import (distinguishing_vector,
+                          distinguishing_vector_status,
+                          random_distinguishing_vector,
+                          refine_diagnosis)
+
+__all__ = [
+    "coverage_driven_patterns", "patterns_from_vectors", "random_patterns",
+    "Podem", "PodemStats", "eval3", "fill_assignment",
+    "reverse_order_compact",
+    "diagnosis_vectors", "deterministic_patterns",
+    "distinguishing_vector", "distinguishing_vector_status",
+    "random_distinguishing_vector", "refine_diagnosis",
+]

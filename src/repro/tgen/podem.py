@@ -1,0 +1,290 @@
+"""PODEM automatic test pattern generation.
+
+The paper feeds the diagnosis engine "vectors from [3] along with
+6,000–10,000 random vectors" — [3] being a compact deterministic test
+set.  We reproduce that recipe with our own deterministic generator: a
+classic PODEM (Goel) implementation over the 5-valued D-calculus, one
+target fault at a time, plus reverse-order compaction
+(:mod:`repro.tgen.compaction`).
+
+The implementation is scalar (one vector at a time) and intentionally
+simple; it only needs to top up the random set with hard-fault vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.gatetypes import GateType, controlling_value
+from ..circuit.lines import LineTable
+from ..circuit.netlist import Netlist
+from ..errors import SimulationError
+from ..sim.faultsim import SimFault
+
+X = 2  # unknown in the 3-valued good/faulty component lattice
+
+_AND_T = {(0, 0): 0, (0, 1): 0, (0, X): 0, (1, 0): 0, (X, 0): 0,
+          (1, 1): 1, (1, X): X, (X, 1): X, (X, X): X}
+_OR_T = {(1, 1): 1, (1, 0): 1, (1, X): 1, (0, 1): 1, (X, 1): 1,
+         (0, 0): 0, (0, X): X, (X, 0): X, (X, X): X}
+
+
+def _not3(v: int) -> int:
+    return X if v == X else 1 - v
+
+
+def _and3(vals) -> int:
+    acc = 1
+    for v in vals:
+        acc = _AND_T[(acc, v)]
+    return acc
+
+
+def _or3(vals) -> int:
+    acc = 0
+    for v in vals:
+        acc = _OR_T[(acc, v)]
+    return acc
+
+
+def _xor3(vals) -> int:
+    acc = 0
+    for v in vals:
+        if v == X:
+            return X
+        acc ^= v
+    return acc
+
+
+def eval3(gtype: GateType, vals) -> int:
+    """3-valued gate evaluation (0/1/X)."""
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype in (GateType.BUF, GateType.INPUT, GateType.DFF):
+        return vals[0]
+    if gtype is GateType.NOT:
+        return _not3(vals[0])
+    if gtype is GateType.AND:
+        return _and3(vals)
+    if gtype is GateType.NAND:
+        return _not3(_and3(vals))
+    if gtype is GateType.OR:
+        return _or3(vals)
+    if gtype is GateType.NOR:
+        return _not3(_or3(vals))
+    if gtype is GateType.XOR:
+        return _xor3(vals)
+    if gtype is GateType.XNOR:
+        return _not3(_xor3(vals))
+    raise SimulationError(f"cannot 3-value evaluate {gtype}")
+
+
+@dataclass
+class PodemStats:
+    """Counters for one :meth:`Podem.generate` call."""
+
+    backtracks: int = 0
+    implications: int = 0
+    aborted: bool = False
+
+
+class Podem:
+    """PODEM test generator for stuck-at faults on one netlist.
+
+    The netlist must be combinational (full-scan models qualify).
+    """
+
+    def __init__(self, netlist: Netlist, table: LineTable | None = None,
+                 backtrack_limit: int = 250):
+        if not netlist.is_combinational:
+            raise SimulationError(
+                "PODEM needs a combinational netlist; full-scan it first")
+        self.netlist = netlist
+        self.table = table or LineTable(netlist)
+        self.backtrack_limit = backtrack_limit
+        self._order = netlist.topo_order()
+        self._pis = netlist.inputs
+
+    # ------------------------------------------------------------------
+    def generate(self, fault: SimFault
+                 ) -> tuple[dict | None, PodemStats]:
+        """Find a test for ``fault``.
+
+        Returns ``(assignment, stats)`` where ``assignment`` maps each PI
+        gate index to 0/1 (unassigned PIs may be filled arbitrarily), or
+        ``None`` if untestable/aborted (see ``stats.aborted``).
+        """
+        line = self.table[fault.line]
+        stats = PodemStats()
+        pi_values: dict[int, int] = {}
+        decisions: list[tuple[int, int, bool]] = []  # (pi, value, flipped)
+
+        good, faulty = self._imply(pi_values, fault)
+        stats.implications += 1
+        while True:
+            if self._detected(good, faulty):
+                return dict(pi_values), stats
+            objective = self._objective(good, faulty, fault, line)
+            if objective is not None:
+                pi, value = self._backtrace(objective[0], objective[1],
+                                            good)
+                if pi is not None:
+                    decisions.append((pi, value, False))
+                    pi_values[pi] = value
+                    good, faulty = self._imply(pi_values, fault)
+                    stats.implications += 1
+                    continue
+            # No objective achievable -> backtrack.
+            backtracked = False
+            while decisions:
+                pi, value, flipped = decisions.pop()
+                del pi_values[pi]
+                stats.backtracks += 1
+                if stats.backtracks > self.backtrack_limit:
+                    stats.aborted = True
+                    return None, stats
+                if not flipped:
+                    decisions.append((pi, 1 - value, True))
+                    pi_values[pi] = 1 - value
+                    good, faulty = self._imply(pi_values, fault)
+                    stats.implications += 1
+                    backtracked = True
+                    break
+            if not backtracked:
+                return None, stats  # search space exhausted: untestable
+
+    # ------------------------------------------------------------------
+    def _imply(self, pi_values: dict, fault: SimFault
+               ) -> tuple[list, list]:
+        """3-valued good/faulty simulation under partial PI assignment."""
+        line = self.table[fault.line]
+        n = len(self.netlist.gates)
+        good = [X] * n
+        faulty = [X] * n
+        gates = self.netlist.gates
+        for idx in self._order:
+            gate = gates[idx]
+            if gate.gtype is GateType.INPUT:
+                good[idx] = faulty[idx] = pi_values.get(idx, X)
+            elif gate.gtype is GateType.CONST0:
+                good[idx] = faulty[idx] = 0
+            elif gate.gtype is GateType.CONST1:
+                good[idx] = faulty[idx] = 1
+            else:
+                gvals = [good[src] for src in gate.fanin]
+                fvals = [faulty[src] for src in gate.fanin]
+                if not line.is_stem and idx == line.sink:
+                    fvals = list(fvals)
+                    fvals[line.pin] = fault.value
+                good[idx] = eval3(gate.gtype, gvals)
+                faulty[idx] = eval3(gate.gtype, fvals)
+            if line.is_stem and idx == line.driver:
+                faulty[idx] = fault.value
+        return good, faulty
+
+    def _detected(self, good, faulty) -> bool:
+        for po in self.netlist.outputs:
+            if good[po] != X and faulty[po] != X and good[po] != faulty[po]:
+                return True
+        return False
+
+    def _excited(self, good, faulty, fault: SimFault, line) -> int:
+        """-1 impossible, 0 not yet (X), 1 excited."""
+        sig = good[line.driver]
+        if sig == X:
+            return 0
+        return 1 if sig != fault.value else -1
+
+    def _objective(self, good, faulty, fault: SimFault,
+                   line) -> tuple[int, int] | None:
+        """Next (signal, value) objective, or None when stuck."""
+        state = self._excited(good, faulty, fault, line)
+        if state == -1:
+            return None
+        if state == 0:
+            return (line.driver, 1 - fault.value)
+        # Fault excited: pick an X-output gate with a D on some input.
+        frontier = self._d_frontier(good, faulty, fault, line)
+        for gate_idx in frontier:
+            gate = self.netlist.gates[gate_idx]
+            ctrl = controlling_value(gate.gtype)
+            want = 1 - ctrl if ctrl is not None else 1
+            for src in gate.fanin:
+                if good[src] == X:
+                    return (src, want)
+        return None
+
+    def _d_frontier(self, good, faulty, fault: SimFault,
+                    line) -> list[int]:
+        frontier = []
+        for idx in self._order:
+            gate = self.netlist.gates[idx]
+            if not gate.fanin or gate.gtype is GateType.INPUT:
+                continue
+            out_x = good[idx] == X or faulty[idx] == X
+            if not out_x:
+                continue
+            for pin, src in enumerate(gate.fanin):
+                good_in, faulty_in = good[src], faulty[src]
+                if (not line.is_stem and idx == line.sink
+                        and pin == line.pin):
+                    # The branch fault's D is visible only in this pin's
+                    # view: faulty side reads the stuck value.
+                    faulty_in = fault.value
+                if (good_in != X and faulty_in != X
+                        and good_in != faulty_in):
+                    frontier.append(idx)
+                    break
+        return frontier
+
+    def _backtrace(self, signal: int, value: int,
+                   good) -> tuple[int | None, int]:
+        """Map an objective to an unassigned-PI assignment."""
+        gates = self.netlist.gates
+        current, want = signal, value
+        for _ in range(4 * len(gates) + 8):
+            gate = gates[current]
+            if gate.gtype is GateType.INPUT:
+                if good[current] == X:
+                    return current, want
+                return None, 0
+            if not gate.fanin:
+                return None, 0  # constants cannot be justified
+            if gate.gtype in (GateType.NOT, GateType.NAND, GateType.NOR,
+                              GateType.XNOR):
+                want = 1 - want
+            # choose an X input; prefer one that can set the objective
+            x_inputs = [src for src in gate.fanin if good[src] == X]
+            if not x_inputs:
+                return None, 0
+            current = x_inputs[0]
+            if gate.gtype in (GateType.XOR, GateType.XNOR):
+                # parity: desired value on the chosen input given others
+                others = [good[src] for src in gate.fanin
+                          if src != current]
+                acc = 0
+                for v in others:
+                    if v != X:
+                        acc ^= v
+                want = want ^ acc
+        return None, 0
+
+
+def fill_assignment(netlist: Netlist, assignment: dict,
+                    rng=None) -> list[int]:
+    """Expand a partial PI assignment into a full 0/1 vector (PI order).
+
+    Unassigned inputs are random-filled (better fortuitous detection) when
+    ``rng`` is given, else zero-filled.
+    """
+    vector = []
+    for pi in netlist.inputs:
+        if pi in assignment:
+            vector.append(int(assignment[pi]))
+        elif rng is not None:
+            vector.append(rng.randint(0, 1))
+        else:
+            vector.append(0)
+    return vector

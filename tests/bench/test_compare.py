@@ -1,0 +1,24 @@
+"""Baseline-comparison harness."""
+
+from repro.bench import format_compare, run_compare
+from repro.circuit import generators
+
+
+def test_compare_smoke(c17):
+    rows = run_compare([c17], fault_counts=(1,), trials=2,
+                       num_vectors=256, time_budget=15.0)
+    cell = rows[0].cells[1]
+    assert cell.trials == 2
+    assert cell.engine_solved == 1.0
+    assert cell.sat_solved == 1.0
+    assert cell.agreement == 1.0       # independent formulations agree
+    assert cell.dict_solved == 1.0
+    text = format_compare(rows, (1,))
+    assert "c17" in text and "agree" in text
+
+
+def test_compare_two_faults_no_dictionary_column(c17):
+    rows = run_compare([c17], fault_counts=(2,), trials=1,
+                       num_vectors=256, time_budget=15.0)
+    text = format_compare(rows, (2,))
+    assert "-" in text  # dictionary column blank for k != 1

@@ -1,0 +1,77 @@
+"""Experiment harnesses: tiny smoke runs + table formatting."""
+
+from repro.bench import (format_ablation, format_table1, format_table2,
+                         prepare_design_error, prepare_stuck_at,
+                         run_ablation, run_table1, run_table2)
+from repro.bench.workloads import (design_error_instance,
+                                   stuck_at_instance)
+from repro.circuit import generators
+
+
+def test_prepare_stuck_at_optimizes_and_scans(s27):
+    prepared = prepare_stuck_at(s27)
+    assert prepared.is_sequential
+    assert prepared.netlist.is_combinational
+    assert prepared.num_lines > 0
+
+
+def test_prepare_design_error_keeps_redundancy(c17):
+    prepared = prepare_design_error(c17)
+    assert not prepared.is_sequential
+    assert len(prepared.netlist.gates) == len(c17.gates)
+
+
+def test_instances_are_deterministic(c17):
+    prepared = prepare_stuck_at(c17)
+    a, pa = stuck_at_instance(prepared, 2, trial=1, num_vectors=64)
+    b, pb = stuck_at_instance(prepared, 2, trial=1, num_vectors=64)
+    assert [r.site for r in a.truth] == [r.site for r in b.truth]
+    assert (pa.words == pb.words).all()
+    c, _ = stuck_at_instance(prepared, 2, trial=2, num_vectors=64)
+    assert [r.site for r in a.truth] != [r.site for r in c.truth]
+
+
+def test_design_error_instance_observable(c17):
+    prepared = prepare_design_error(c17)
+    workload, patterns = design_error_instance(prepared, 1, trial=0,
+                                               num_vectors=256)
+    assert workload.truth
+
+
+def test_run_table1_smoke(c17):
+    rows = run_table1([c17], fault_counts=(1, 2), trials=2,
+                      num_vectors=256, time_budget=20.0)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row.lines == 17
+    cell1 = row.cells[1]
+    assert cell1.trials == 2
+    assert cell1.tuples >= 1
+    assert 0 <= cell1.recovered_rate <= 1
+    text = format_table1(rows, (1, 2))
+    assert "c17" in text
+    assert "# tuples" in text
+    assert "Average" in text
+
+
+def test_run_table2_smoke(c17):
+    rows = run_table2([c17], error_counts=(2,), trials=2,
+                      num_vectors=256, time_budget=20.0)
+    cell = rows[0].cells[2]
+    assert cell.trials == 2
+    assert cell.nodes >= 1
+    text = format_table2(rows, (2,))
+    assert "c17" in text
+    assert "diag." in text
+    assert "solved" in text
+
+
+def test_run_ablation_smoke(c17):
+    results = run_ablation([c17], num_errors=1, trials=1,
+                           num_vectors=256, time_budget=10.0,
+                           variants=["paper (rounds, h2+h3)",
+                                     "pure DFS"])
+    assert len(results) == 2
+    assert all(r.trials == 1 for r in results)
+    text = format_ablation(results)
+    assert "pure DFS" in text

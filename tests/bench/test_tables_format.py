@@ -1,0 +1,41 @@
+"""Table formatting edge cases."""
+
+from repro.bench.table1 import Table1Cell, Table1Row
+from repro.bench.table2 import Table2Cell, Table2Row
+from repro.bench.tables import format_table1, format_table2
+
+
+def test_table1_missing_cells_render_dashes():
+    row = Table1Row("ghost", 42, False)
+    row.cells[1] = Table1Cell(1, trials=1, sites=2.0, tuples=2.0,
+                              time_per_tuple=0.5)
+    text = format_table1([row], fault_counts=(1, 2))
+    assert "ghost" in text
+    assert "-" in text          # the empty 2-fault cell
+    assert "0.50" in text
+
+
+def test_table1_empty_rows():
+    text = format_table1([], fault_counts=(1,))
+    assert "Stuck-At" in text
+
+
+def test_table1_masking_footnote_only_for_sequential():
+    comb = Table1Row("comb", 10, False)
+    comb.cells[4] = Table1Cell(4, trials=1, masked_rate=1.0)
+    text = format_table1([comb], fault_counts=(4,))
+    assert "fault masking" not in text
+    seq = Table1Row("seq", 10, True)
+    seq.cells[4] = Table1Cell(4, trials=1, masked_rate=0.5)
+    text = format_table1([seq], fault_counts=(4,))
+    assert "fault masking" in text
+    assert "50%" in text
+
+
+def test_table2_solved_summary():
+    row = Table2Row("x", 10, False)
+    row.cells[3] = Table2Cell(3, trials=2, solved=0.5, nodes=10,
+                              total_time=1.0)
+    text = format_table2([row], error_counts=(3, 4))
+    assert "solved: 50%" in text
+    assert text.count("-") > 4  # missing 4-error cell rendered as dashes

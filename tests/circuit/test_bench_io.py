@@ -1,0 +1,119 @@
+"""ISCAS .bench parsing and serialization."""
+
+import pytest
+
+from repro.circuit import GateType, bench_io, validate
+from repro.errors import ParseError
+from repro.sim import PatternSet, equivalent, output_rows, simulate
+
+
+def test_parse_c17(c17):
+    assert c17.num_inputs == 5
+    assert c17.num_outputs == 2
+    assert sum(1 for g in c17.gates
+               if g.gtype is GateType.NAND) == 6
+
+
+def test_parse_s27(s27):
+    assert s27.num_inputs == 4
+    assert s27.num_outputs == 1
+    assert len(s27.dffs()) == 3
+    assert not s27.is_combinational
+
+
+def test_roundtrip_preserves_function(c17):
+    text = bench_io.dumps(c17)
+    back = bench_io.loads(text, "c17_back")
+    validate(back)
+    patterns = PatternSet.exhaustive(5)
+    a = output_rows(c17, simulate(c17, patterns))
+    b = output_rows(back, simulate(back, patterns))
+    assert equivalent(a, b, patterns.nbits)
+
+
+def test_roundtrip_sequential(s27):
+    text = bench_io.dumps(s27)
+    back = bench_io.loads(text)
+    assert len(back.dffs()) == 3
+    assert back.num_inputs == 4
+
+
+def test_file_roundtrip(tmp_path, c17):
+    path = tmp_path / "c17.bench"
+    bench_io.dump(c17, path)
+    back = bench_io.load(path)
+    assert back.name == "c17"
+    assert len(back.gates) == len(c17.gates)
+
+
+def test_comments_and_case_insensitivity():
+    nl = bench_io.loads("""
+    # a comment
+    INPUT(x)   # trailing comment
+    output(y)
+    y = nand(x, x)
+    """)
+    assert nl.num_inputs == 1
+    assert nl.gate("y").gtype is GateType.NAND
+
+
+def test_buff_and_inv_aliases():
+    nl = bench_io.loads("""
+    INPUT(x)
+    OUTPUT(y)
+    a = BUFF(x)
+    y = INV(a)
+    """)
+    assert nl.gate("a").gtype is GateType.BUF
+    assert nl.gate("y").gtype is GateType.NOT
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(ParseError, match="unknown gate"):
+        bench_io.loads("INPUT(x)\nOUTPUT(y)\ny = FROB(x)\n")
+
+
+def test_undefined_signal_rejected():
+    with pytest.raises(ParseError, match="never defined"):
+        bench_io.loads("INPUT(x)\nOUTPUT(y)\ny = AND(x, ghost)\n")
+
+
+def test_undefined_output_rejected():
+    with pytest.raises(ParseError, match="never defined"):
+        bench_io.loads("INPUT(x)\nOUTPUT(nope)\ny = NOT(x)\n")
+
+
+def test_double_definition_rejected():
+    with pytest.raises(ParseError, match="defined twice"):
+        bench_io.loads("INPUT(x)\nOUTPUT(y)\ny = NOT(x)\ny = BUFF(x)\n")
+
+
+def test_combinational_cycle_rejected():
+    with pytest.raises(ParseError, match="cycle"):
+        bench_io.loads("""
+        INPUT(x)
+        OUTPUT(a)
+        a = AND(x, b)
+        b = NOT(a)
+        """)
+
+
+def test_dff_cycle_allowed():
+    nl = bench_io.loads("""
+    INPUT(x)
+    OUTPUT(q)
+    q = DFF(d)
+    d = AND(x, q)
+    """)
+    assert nl.gate("q").gtype is GateType.DFF
+    assert nl.gate("q").fanin == [nl.index_of("d")]
+
+
+def test_garbage_line_rejected():
+    with pytest.raises(ParseError, match="cannot parse"):
+        bench_io.loads("INPUT(x)\nOUTPUT(x)\nthis is not bench\n")
+
+
+def test_dff_arity_enforced():
+    with pytest.raises(ParseError):
+        bench_io.loads("INPUT(x)\nOUTPUT(q)\nq = DFF(x, x)\n")

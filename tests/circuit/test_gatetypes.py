@@ -1,0 +1,118 @@
+"""Gate semantics: scalar truth tables and bit-parallel consistency."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuit.gatetypes import (GateType, INVERTED_COUNTERPART,
+                                     LOGIC_TYPES, MULTI_INPUT_TYPES,
+                                     REPLACEMENT_CLASSES, SOURCE_TYPES,
+                                     UNARY_TYPES, arity_ok,
+                                     controlling_value, eval_scalar,
+                                     eval_words, has_controlling_value)
+
+BINARY_TRUTH = {
+    GateType.AND: [0, 0, 0, 1],
+    GateType.NAND: [1, 1, 1, 0],
+    GateType.OR: [0, 1, 1, 1],
+    GateType.NOR: [1, 0, 0, 0],
+    GateType.XOR: [0, 1, 1, 0],
+    GateType.XNOR: [1, 0, 0, 1],
+}
+
+
+@pytest.mark.parametrize("gtype,truth", sorted(BINARY_TRUTH.items(),
+                                               key=lambda kv: kv[0].name))
+def test_binary_truth_tables(gtype, truth):
+    for a, b in itertools.product((0, 1), repeat=2):
+        assert eval_scalar(gtype, [a, b]) == truth[2 * a + b]
+        # all these gates are commutative
+        assert eval_scalar(gtype, [b, a]) == truth[2 * a + b]
+
+
+def test_unary_truth_tables():
+    assert eval_scalar(GateType.NOT, [0]) == 1
+    assert eval_scalar(GateType.NOT, [1]) == 0
+    assert eval_scalar(GateType.BUF, [0]) == 0
+    assert eval_scalar(GateType.BUF, [1]) == 1
+
+
+def test_constants():
+    assert eval_scalar(GateType.CONST0, []) == 0
+    assert eval_scalar(GateType.CONST1, []) == 1
+
+
+@pytest.mark.parametrize("n_inputs", [1, 2, 3, 4])
+@pytest.mark.parametrize("gtype", sorted(MULTI_INPUT_TYPES,
+                                         key=lambda g: g.name))
+def test_words_match_scalar(gtype, n_inputs):
+    """Bit-parallel evaluation agrees with the scalar oracle on every
+    input combination, bit position by bit position."""
+    combos = list(itertools.product((0, 1), repeat=n_inputs))
+    words = []
+    for pin in range(n_inputs):
+        packed = 0
+        for bit, combo in enumerate(combos):
+            packed |= combo[pin] << bit
+        words.append(np.array([packed], dtype=np.uint64))
+    result = eval_words(gtype, words)
+    for bit, combo in enumerate(combos):
+        expected = eval_scalar(gtype, combo)
+        assert (int(result[0]) >> bit) & 1 == expected, (gtype, combo)
+
+
+def test_words_not_flips_all_bits():
+    x = np.array([0x00FF00FF00FF00FF], dtype=np.uint64)
+    assert int(eval_words(GateType.NOT, [x])[0]) == 0xFF00FF00FF00FF00
+
+
+def test_controlling_values():
+    assert controlling_value(GateType.AND) == 0
+    assert controlling_value(GateType.NAND) == 0
+    assert controlling_value(GateType.OR) == 1
+    assert controlling_value(GateType.NOR) == 1
+    for gtype in (GateType.XOR, GateType.XNOR, GateType.NOT, GateType.BUF):
+        assert controlling_value(gtype) is None
+    assert has_controlling_value(GateType.AND)
+    assert not has_controlling_value(GateType.XOR)
+
+
+def test_arity_rules():
+    for gtype in SOURCE_TYPES:
+        assert arity_ok(gtype, 0)
+        assert not arity_ok(gtype, 1)
+    for gtype in UNARY_TYPES:
+        assert arity_ok(gtype, 1)
+        assert not arity_ok(gtype, 2)
+    for gtype in MULTI_INPUT_TYPES:
+        assert arity_ok(gtype, 2)
+        assert arity_ok(gtype, 5)
+        assert not arity_ok(gtype, 0)
+
+
+def test_inverted_counterparts_are_involutions():
+    for gtype, inv in INVERTED_COUNTERPART.items():
+        assert INVERTED_COUNTERPART[inv] is gtype
+        # semantic check on two inputs (or one for BUF/NOT)
+        n = 1 if gtype in UNARY_TYPES else 2
+        for combo in itertools.product((0, 1), repeat=n):
+            assert eval_scalar(gtype, combo) == 1 - eval_scalar(inv, combo)
+
+
+def test_replacement_classes_exclude_self():
+    for gtype, repls in REPLACEMENT_CLASSES.items():
+        assert gtype not in repls
+        assert len(set(repls)) == len(repls)
+
+
+def test_eval_scalar_rejects_input_type_without_values():
+    with pytest.raises(IndexError):
+        eval_scalar(GateType.BUF, [])
+
+
+def test_logic_types_partition():
+    assert GateType.DFF not in LOGIC_TYPES
+    assert GateType.INPUT not in LOGIC_TYPES
+    assert GateType.AND in LOGIC_TYPES
+    assert GateType.NOT in LOGIC_TYPES

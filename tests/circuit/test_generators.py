@@ -1,0 +1,286 @@
+"""Functional correctness of the benchmark circuit generators."""
+
+import pytest
+
+from repro.circuit import generators, validate
+from repro.circuit.lines import LineTable
+from repro.sim import PatternSet, output_rows, simulate
+from repro.sim.packing import unpack_bits
+
+
+def _io_bits(netlist, patterns):
+    values = simulate(netlist, patterns)
+    ins = unpack_bits(patterns.words, patterns.nbits)
+    outs = unpack_bits(output_rows(netlist, values), patterns.nbits)
+    return ins, outs
+
+
+def _word(bits, lo, width, vec):
+    return sum(int(bits[lo + i, vec]) << i for i in range(width))
+
+
+def test_ripple_carry_adder_exhaustive():
+    nl = generators.ripple_carry_adder(3)
+    patterns = PatternSet.exhaustive(7)
+    ins, outs = _io_bits(nl, patterns)
+    for v in range(patterns.nbits):
+        a = _word(ins, 0, 3, v)
+        b = _word(ins, 3, 3, v)
+        cin = ins[6, v]
+        assert _word(outs, 0, 4, v) == a + b + cin
+
+
+def test_array_multiplier_exhaustive(mult3):
+    patterns = PatternSet.exhaustive(6)
+    ins, outs = _io_bits(mult3, patterns)
+    for v in range(patterns.nbits):
+        a = _word(ins, 0, 3, v)
+        b = _word(ins, 3, 3, v)
+        assert _word(outs, 0, 6, v) == a * b
+
+
+def test_array_multiplier_sampled_width8():
+    nl = generators.array_multiplier(8)
+    patterns = PatternSet.random(16, 256, seed=5)
+    ins, outs = _io_bits(nl, patterns)
+    for v in range(patterns.nbits):
+        a = _word(ins, 0, 8, v)
+        b = _word(ins, 8, 8, v)
+        assert _word(outs, 0, 16, v) == a * b
+
+
+def test_comparator():
+    nl = generators.comparator(4)
+    patterns = PatternSet.exhaustive(8)
+    ins, outs = _io_bits(nl, patterns)
+    for v in range(patterns.nbits):
+        a = _word(ins, 0, 4, v)
+        b = _word(ins, 4, 4, v)
+        gt, eq, lt = outs[0, v], outs[1, v], outs[2, v]
+        assert (gt, eq, lt) == (int(a > b), int(a == b), int(a < b))
+
+
+@pytest.mark.parametrize("op,expected", [
+    (0, lambda a, b, w: (a + b) % (1 << w)),           # ADD
+    (1, lambda a, b, w: (a - b) % (1 << w)),           # SUB
+    (2, lambda a, b, w: a & b),                        # AND
+    (3, lambda a, b, w: a | b),                        # OR
+    (4, lambda a, b, w: a ^ b),                        # XOR
+    (5, lambda a, b, w: (~(a | b)) % (1 << w)),        # NOR
+    (6, lambda a, b, w: a),                            # pass A
+    (7, lambda a, b, w: (~a) % (1 << w)),              # NOT A
+])
+def test_alu_ops(op, expected):
+    width = 4
+    nl = generators.alu(width)
+    vectors = []
+    cases = [(3, 9), (15, 15), (0, 0), (7, 12), (1, 2), (10, 5)]
+    for a, b in cases:
+        bits = [(a >> i) & 1 for i in range(width)]
+        bits += [(b >> i) & 1 for i in range(width)]
+        bits += [(op >> i) & 1 for i in range(3)]
+        vectors.append(bits)
+    patterns = PatternSet.from_vectors(vectors)
+    outs = unpack_bits(output_rows(nl, simulate(nl, patterns)),
+                       patterns.nbits)
+    for v, (a, b) in enumerate(cases):
+        got = _word(outs, 0, width, v)
+        want = expected(a, b, width)
+        assert got == want, (op, a, b, got, want)
+        zero_flag = outs[width + 1, v]
+        assert zero_flag == int(want == 0)
+
+
+def test_barrel_shifter():
+    width = 8
+    nl = generators.barrel_shifter(width)
+    cases = [(0b10110001, s) for s in range(8)]
+    vectors = []
+    for data, shift in cases:
+        bits = [(data >> i) & 1 for i in range(width)]
+        bits += [(shift >> i) & 1 for i in range(3)]
+        vectors.append(bits)
+    patterns = PatternSet.from_vectors(vectors)
+    outs = unpack_bits(output_rows(nl, simulate(nl, patterns)),
+                       patterns.nbits)
+    for v, (data, shift) in enumerate(cases):
+        assert _word(outs, 0, width, v) == (data << shift) & 0xFF
+
+
+def test_priority_encoder():
+    width = 8
+    nl = generators.priority_encoder(width)
+    patterns = PatternSet.exhaustive(width)
+    ins, outs = _io_bits(nl, patterns)
+    bits = max(1, (width - 1).bit_length())
+    for v in range(patterns.nbits):
+        req = _word(ins, 0, width, v)
+        valid = outs[bits, v]
+        assert valid == int(req != 0)
+        if req:
+            assert _word(outs, 0, bits, v) == req.bit_length() - 1
+
+
+def test_decoder():
+    nl = generators.decoder(3)
+    patterns = PatternSet.exhaustive(4)
+    ins, outs = _io_bits(nl, patterns)
+    for v in range(patterns.nbits):
+        sel = _word(ins, 0, 3, v)
+        en = ins[3, v]
+        for code in range(8):
+            assert outs[code, v] == int(en and code == sel)
+
+
+def test_parity_tree():
+    nl = generators.parity_tree(9)
+    patterns = PatternSet.exhaustive(9)
+    ins, outs = _io_bits(nl, patterns)
+    for v in range(patterns.nbits):
+        assert outs[0, v] == _word(ins, 0, 9, v).bit_count() % 2
+
+
+def test_hamming_corrector_fixes_single_bit_errors():
+    data_bits = 8
+    nl = generators.hamming_corrector(data_bits)
+    # parity bit count for 8 data bits is 4
+    p = nl.num_inputs - data_bits
+    import random
+    rng = random.Random(0)
+
+    def encode(data):
+        # mirror the generator's position convention
+        n = data_bits + p
+        codeword = {}
+        di = 0
+        data_positions = []
+        for pos in range(1, n + 1):
+            if pos & (pos - 1) == 0:
+                continue
+            codeword[pos] = (data >> di) & 1
+            data_positions.append(pos)
+            di += 1
+        parities = []
+        for bit in range(p):
+            par = 0
+            for pos, val in codeword.items():
+                if (pos >> bit) & 1:
+                    par ^= val
+            parities.append(par)
+        return codeword, parities, data_positions
+
+    vectors = []
+    expect = []
+    for _ in range(40):
+        data = rng.randrange(1 << data_bits)
+        codeword, parities, dpos = encode(data)
+        flip = rng.choice([None] + dpos)
+        bits_in = []
+        for pos in dpos:
+            val = codeword[pos] ^ (1 if pos == flip else 0)
+            bits_in.append(val)
+        bits_in += parities
+        vectors.append(bits_in)
+        expect.append((data, flip is not None))
+    patterns = PatternSet.from_vectors(vectors)
+    nlout = unpack_bits(output_rows(nl, simulate(nl, patterns)),
+                        patterns.nbits)
+    for v, (data, had_error) in enumerate(expect):
+        assert _word(nlout, 0, data_bits, v) == data
+        assert nlout[data_bits, v] == int(had_error)
+
+
+def test_random_dag_is_valid_and_deterministic():
+    a = generators.random_dag(8, 60, 4, seed=42)
+    b = generators.random_dag(8, 60, 4, seed=42)
+    validate(a)
+    assert [g.gtype for g in a.gates] == [g.gtype for g in b.gates]
+    assert [g.fanin for g in a.gates] == [g.fanin for g in b.gates]
+    c = generators.random_dag(8, 60, 4, seed=43)
+    assert [g.fanin for g in a.gates] != [g.fanin for g in c.gates]
+
+
+def test_random_sequential_has_feedback():
+    nl = generators.random_sequential(6, 80, 5, 4, seed=1)
+    validate(nl)
+    assert len(nl.dffs()) == 5
+    assert not nl.is_combinational
+
+
+def test_suite_names_unique_and_valid():
+    suite = generators.benchmark_suite(scale=0.25)
+    names = [c.name for c in suite]
+    assert len(names) == len(set(names))
+    for circuit in suite:
+        validate(circuit)
+        assert len(LineTable(circuit)) > 0
+
+
+def test_by_name():
+    nl = generators.by_name("c17")
+    assert nl.name == "c17"
+    with pytest.raises(KeyError):
+        generators.by_name("nope")
+
+
+def test_carry_lookahead_adder():
+    nl = generators.carry_lookahead_adder(4)
+    patterns = PatternSet.exhaustive(9)
+    ins, outs = _io_bits(nl, patterns)
+    for v in range(patterns.nbits):
+        a = _word(ins, 0, 4, v)
+        b = _word(ins, 4, 4, v)
+        cin = ins[8, v]
+        assert _word(outs, 0, 5, v) == a + b + cin
+
+
+def test_kogge_stone_adder():
+    nl = generators.kogge_stone_adder(5)
+    patterns = PatternSet.random(10, 200, seed=4)
+    ins, outs = _io_bits(nl, patterns)
+    for v in range(patterns.nbits):
+        a = _word(ins, 0, 5, v)
+        b = _word(ins, 5, 5, v)
+        assert _word(outs, 0, 6, v) == a + b
+
+
+def test_crc_checker_matches_reference():
+    poly, crc_bits, data_bits = 0x5, 3, 10
+    nl = generators.crc_checker(data_bits, poly=poly, crc_bits=crc_bits)
+    patterns = PatternSet.random(data_bits, 256, seed=0)
+    ins, outs = _io_bits(nl, patterns)
+
+    def reference(bits):
+        state = [0] * crc_bits
+        for d in bits:
+            feedback = state[-1] ^ d
+            nxt = []
+            for k in range(crc_bits):
+                val = state[k - 1] if k else 0
+                if (poly >> k) & 1:
+                    val ^= feedback
+                nxt.append(val)
+            state = nxt
+        return state
+
+    for v in range(patterns.nbits):
+        bits = [int(ins[i, v]) for i in range(data_bits)]
+        got = [int(outs[k, v]) for k in range(crc_bits)]
+        assert got == reference(bits), (v, bits)
+
+
+def test_lfsr_loads_and_shifts():
+    from repro.circuit import SequentialSimulator
+    width = 5
+    nl = generators.lfsr(width, taps=(0, 2))
+    sim = SequentialSimulator(nl)
+    seed_value = [1, 0, 1, 1, 0]
+    inputs = {"load": 1}
+    inputs.update({f"seed{i}": seed_value[i] for i in range(width)})
+    sim.step(inputs)                 # load cycle
+    assert [sim.state[ff] for ff in nl.dffs()] == seed_value
+    inputs["load"] = 0
+    before = [sim.state[ff] for ff in nl.dffs()]
+    sim.step(inputs)                 # shift cycle
+    after = [sim.state[ff] for ff in nl.dffs()]
+    assert after[1:] == before[:-1]  # shifted by one

@@ -1,0 +1,78 @@
+"""Miter construction and time-frame expansion."""
+
+import random
+
+import pytest
+
+from repro.circuit import GateType, Netlist, generators
+from repro.circuit.miter import build_miter
+from repro.circuit.sequential import SequentialSimulator
+from repro.circuit.unroll import pack_sequences, unroll
+from repro.errors import NetlistError
+from repro.sim import PatternSet, output_rows, popcount, simulate
+from repro.sim.compare import failing_vector_mask
+from repro.sim.packing import unpack_bits
+
+
+def test_miter_of_identical_circuits_is_zero(c17):
+    miter = build_miter(c17, c17.copy())
+    patterns = PatternSet.exhaustive(5)
+    out = output_rows(miter, simulate(miter, patterns))
+    assert popcount(out[:, : patterns.num_words]
+                    & patterns.tail_mask()) == 0
+
+
+def test_miter_detects_differences(c17):
+    other = c17.copy("c17_mut")
+    other.set_gate_type(other.index_of("10"), GateType.AND)
+    miter = build_miter(c17, other)
+    patterns = PatternSet.exhaustive(5)
+    out = output_rows(miter, simulate(miter, patterns))
+    # miter fires exactly where the two circuits disagree
+    direct = failing_vector_mask(
+        output_rows(c17, simulate(c17, patterns)),
+        output_rows(other, simulate(other, patterns)), patterns.nbits)
+    assert popcount(out & direct) == popcount(direct)
+    assert popcount(out[0, -1] & patterns.tail_mask()) \
+        == popcount(direct)
+
+
+def test_miter_interface_checks(c17, alu4, s27):
+    with pytest.raises(NetlistError, match="count mismatch"):
+        build_miter(c17, alu4)
+    with pytest.raises(NetlistError, match="combinational"):
+        build_miter(s27, s27)
+
+
+def test_unroll_matches_cycle_simulation(s27):
+    frames = 6
+    model, umap = unroll(s27, frames, initial_state=0)
+    assert model.is_combinational
+    assert model.num_inputs == frames * s27.num_inputs
+    assert model.num_outputs == frames * s27.num_outputs
+    rng = random.Random(3)
+    names = [s27.gates[i].name for i in s27.inputs]
+    sequences = [[[rng.randint(0, 1) for _ in names]
+                  for _ in range(frames)] for _ in range(20)]
+    patterns = pack_sequences(s27, umap, sequences)
+    out = unpack_bits(output_rows(model, simulate(model, patterns)),
+                      patterns.nbits)
+    for v, seq in enumerate(sequences):
+        sim = SequentialSimulator(s27, initial_state=0)
+        for t, cycle in enumerate(seq):
+            ref = sim.step(dict(zip(names, cycle)))
+            for p, po_pos in enumerate(umap.po_positions[t]):
+                assert out[po_pos, v] == ref[p], (v, t, p)
+
+
+def test_unroll_unknown_reset_exposes_state_inputs(s27):
+    model, _ = unroll(s27, 2, initial_state=None)
+    assert model.num_inputs == 2 * s27.num_inputs + len(s27.dffs())
+
+
+def test_unroll_validation(s27):
+    with pytest.raises(NetlistError):
+        unroll(s27, 0)
+    model, umap = unroll(s27, 2)
+    with pytest.raises(NetlistError, match="cycles"):
+        pack_sequences(s27, umap, [[[0, 0, 0, 0]]])  # 1 cycle, need 2

@@ -1,0 +1,66 @@
+"""Additional netlist mutation coverage."""
+
+import pytest
+
+from repro.circuit import GateType, Netlist
+from repro.errors import NetlistError
+from repro.sim import PatternSet, simulate
+from repro.sim.packing import unpack_bits
+
+
+def test_insert_binary_on_stem():
+    nl = Netlist("x")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    y = nl.add_gate("y", GateType.BUF, [a])
+    nl.set_outputs([y, a])
+    new = nl.insert_binary_on_stem(a, GateType.AND, b)
+    # consumers and PO slots now read AND(a, b)
+    assert nl.gates[y].fanin == [new]
+    assert nl.outputs[1] == new
+    assert nl.gates[new].fanin == [a, b]
+    patterns = PatternSet.exhaustive(2)
+    outs = unpack_bits(simulate(nl, patterns)[[y]], 4)
+    for v in range(4):
+        bits = patterns.vector(v)
+        assert outs[0, v] == (bits[0] & bits[1])
+
+
+def test_insert_binary_name_collision_handled():
+    nl = Netlist("x")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    nl.add_gate("a_and2", GateType.AND, [a, b])  # occupy the name
+    y = nl.add_gate("y", GateType.BUF, [a])
+    nl.set_outputs([y])
+    new = nl.insert_binary_on_stem(a, GateType.AND, b)
+    assert nl.gates[new].name != "a_and2"
+
+
+def test_set_fanin_checks_arity():
+    nl = Netlist("x")
+    a = nl.add_input("a")
+    g = nl.add_gate("g", GateType.NOT, [a])
+    nl.set_outputs([g])
+    with pytest.raises(NetlistError):
+        nl.set_fanin(g, [a, a])
+    nl.set_fanin(g, [a])  # same arity fine
+
+
+def test_compacted_renumbers_consistently(alu4):
+    from repro.circuit import validate
+    mutated = alu4.copy()
+    mutated.tie_stem_to_constant(mutated.index_of("fa1_s"), 0)
+    packed = mutated.compacted("packed")
+    validate(packed)
+    # detached subtree gone, function preserved on outputs
+    from repro.sim import equivalent, output_rows
+    patterns = PatternSet.random(alu4.num_inputs, 128, seed=0)
+    assert equivalent(
+        output_rows(mutated, simulate(mutated, patterns)),
+        output_rows(packed, simulate(packed, patterns)), 128)
+
+
+def test_repr_and_len(c17):
+    assert len(c17) == 11
+    assert "c17" in repr(c17)

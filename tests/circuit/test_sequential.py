@@ -1,0 +1,82 @@
+"""Full-scan transform and cycle-accurate sequential simulation."""
+
+import random
+
+from repro.circuit import (GateType, SequentialSimulator, full_scan,
+                           generators)
+from repro.sim import PatternSet, output_rows, simulate
+from repro.sim.packing import unpack_bits
+
+
+def test_full_scan_structure(s27):
+    scan, smap = full_scan(s27)
+    assert scan.is_combinational
+    assert scan.num_inputs == 4 + 3       # PIs + PPIs
+    assert scan.num_outputs == 1 + 3      # POs + PPOs
+    assert smap.num_pis == 4
+    assert smap.num_pos == 1
+    assert len(smap.ppi_of_dff) == 3
+
+
+def test_full_scan_of_combinational_is_identity(c17):
+    scan, smap = full_scan(c17)
+    assert scan.num_inputs == c17.num_inputs
+    assert scan.num_outputs == c17.num_outputs
+    assert not smap.ppi_of_dff
+
+
+def test_scan_model_matches_one_cycle_of_sequential(s27):
+    """One scan-load + capture == one cycle of the sequential machine.
+
+    For every (state, input) pair: feeding the state through the PPIs
+    must reproduce the cycle simulator's outputs on the real POs and its
+    next state on the PPOs.
+    """
+    scan, smap = full_scan(s27)
+    rng = random.Random(7)
+    dffs = s27.dffs()
+    pi_names = [s27.gates[i].name for i in s27.inputs]
+    for _ in range(50):
+        state = {dff: rng.randint(0, 1) for dff in dffs}
+        pis = {name: rng.randint(0, 1) for name in pi_names}
+        # cycle-accurate reference
+        sim = SequentialSimulator(s27)
+        sim.state = dict(state)
+        ref_out = sim.step(pis)
+        ref_next = dict(sim.state)
+        # scan model: one combinational evaluation
+        vector = []
+        for gate_idx in scan.inputs:
+            name = scan.gates[gate_idx].name
+            if name in pis:
+                vector.append(pis[name])
+            else:  # a PPI carries the DFF's current state
+                dff = s27.index_of(name)
+                vector.append(state[dff])
+        patterns = PatternSet.from_vectors([vector])
+        out = unpack_bits(output_rows(scan, simulate(scan, patterns)), 1)
+        for pos in range(smap.num_pos):
+            assert out[pos, 0] == ref_out[pos]
+        for dff, ppo_pos in smap.ppo_of_dff.items():
+            assert out[ppo_pos, 0] == ref_next[dff]
+
+
+def test_sequential_simulator_reset():
+    s27 = generators.s27()
+    sim = SequentialSimulator(s27, initial_state=1)
+    assert all(v == 1 for v in sim.state.values())
+    sim.reset(0)
+    assert all(v == 0 for v in sim.state.values())
+
+
+def test_sequential_simulator_runs_a_trace(s27):
+    sim = SequentialSimulator(s27)
+    rng = random.Random(1)
+    names = [s27.gates[i].name for i in s27.inputs]
+    seen = set()
+    for _ in range(20):
+        out = sim.step({n: rng.randint(0, 1) for n in names})
+        assert set(out) == {0}
+        assert out[0] in (0, 1)
+        seen.add(tuple(sim.state.values()))
+    assert len(seen) > 1  # the machine actually moves

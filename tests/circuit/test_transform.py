@@ -1,0 +1,116 @@
+"""Area optimization and XOR expansion preserve circuit function."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (GateType, Netlist, expand_xor, generators,
+                           optimize_area, validate)
+from repro.sim import PatternSet, equivalent, output_rows, simulate
+
+
+def _equiv(a, b, nbits=256, seed=0):
+    patterns = PatternSet.random(a.num_inputs, nbits, seed)
+    return equivalent(output_rows(a, simulate(a, patterns)),
+                      output_rows(b, simulate(b, patterns)), nbits)
+
+
+def test_constant_folding():
+    nl = Netlist("x")
+    a = nl.add_input("a")
+    zero = nl.add_gate("zero", GateType.CONST0)
+    g = nl.add_gate("g", GateType.AND, [a, zero])   # == 0
+    h = nl.add_gate("h", GateType.OR, [g, a])       # == a
+    nl.set_outputs([h])
+    opt = optimize_area(nl)
+    assert _equiv(nl, opt)
+    # everything should fold down to a buffer/wire of `a`
+    assert len(opt.live_set()) <= 2
+
+
+def test_xor_constant_folding():
+    nl = Netlist("x")
+    a = nl.add_input("a")
+    one = nl.add_gate("one", GateType.CONST1)
+    g = nl.add_gate("g", GateType.XOR, [a, one])    # == NOT a
+    nl.set_outputs([g])
+    opt = optimize_area(nl)
+    assert _equiv(nl, opt)
+    assert opt.gate("g").gtype in (GateType.NOT,)
+
+
+def test_double_inverter_collapse():
+    nl = Netlist("x")
+    a = nl.add_input("a")
+    n1 = nl.add_gate("n1", GateType.NOT, [a])
+    n2 = nl.add_gate("n2", GateType.NOT, [n1])
+    g = nl.add_gate("g", GateType.AND, [n2, a])
+    nl.set_outputs([g])
+    opt = optimize_area(nl)
+    assert _equiv(nl, opt)
+    assert opt.gate("g").fanin == [opt.index_of("a"), opt.index_of("a")]
+
+
+def test_structural_hashing_shares_duplicates():
+    nl = Netlist("x")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    g1 = nl.add_gate("g1", GateType.AND, [a, b])
+    g2 = nl.add_gate("g2", GateType.AND, [b, a])    # commutative dup
+    o = nl.add_gate("o", GateType.XOR, [g1, g2])    # == 0
+    o2 = nl.add_gate("o2", GateType.OR, [g1, g2])   # == g1
+    nl.set_outputs([o, o2])
+    opt = optimize_area(nl)
+    assert _equiv(nl, opt)
+    live = opt.live_set()
+    and_gates = [g for g in opt.gates
+                 if g.index in live and g.gtype is GateType.AND]
+    assert len(and_gates) <= 1
+
+
+@pytest.mark.parametrize("name", ["c17", "r499", "r880"])
+def test_optimize_suite_circuits(name):
+    circuit = generators.by_name(name, scale=0.25)
+    opt = optimize_area(circuit)
+    validate(opt)
+    assert _equiv(circuit, opt, 512)
+    assert len(opt.gates) <= len(circuit.gates)
+
+
+def test_expand_xor_removes_all_xors(rca4):
+    expanded = expand_xor(rca4)
+    validate(expanded)
+    live = expanded.live_set()
+    for gate in expanded.gates:
+        if gate.index in live:
+            assert gate.gtype not in (GateType.XOR, GateType.XNOR)
+    assert _equiv(rca4, expanded, 512)
+
+
+def test_expand_xor_handles_xnor_and_wide_gates():
+    nl = Netlist("x")
+    ins = [nl.add_input(f"i{k}") for k in range(3)]
+    g = nl.add_gate("g", GateType.XNOR, ins)
+    nl.set_outputs([g])
+    expanded = expand_xor(nl)
+    patterns = PatternSet.exhaustive(3)
+    assert equivalent(output_rows(nl, simulate(nl, patterns)),
+                      output_rows(expanded, simulate(expanded, patterns)),
+                      patterns.nbits)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), gates=st.integers(10, 80))
+def test_optimize_random_circuits_equivalent(seed, gates):
+    """Property: area optimization never changes the PO functions."""
+    circuit = generators.random_dag(6, gates, 4, seed=seed)
+    opt = optimize_area(circuit)
+    validate(opt)
+    assert _equiv(circuit, opt, 256, seed=seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_expand_xor_random_circuits_equivalent(seed):
+    circuit = generators.random_dag(6, 50, 4, seed=seed)
+    expanded = expand_xor(circuit)
+    assert _equiv(circuit, expanded, 256, seed=seed)

@@ -1,0 +1,83 @@
+"""Structural validation checks."""
+
+import pytest
+
+from repro.circuit import GateType, Netlist, issues, validate
+from repro.errors import NetlistError
+
+
+def good():
+    nl = Netlist("g")
+    a = nl.add_input("a")
+    g = nl.add_gate("g", GateType.NOT, [a])
+    nl.set_outputs([g])
+    return nl
+
+
+def test_good_netlist_has_no_issues():
+    assert issues(good()) == []
+    validate(good())
+
+
+def test_no_outputs_detected():
+    nl = good()
+    nl.outputs = []
+    assert any("no primary outputs" in p for p in issues(nl))
+    with pytest.raises(NetlistError):
+        validate(nl)
+
+
+def test_no_inputs_detected():
+    nl = Netlist("x")
+    c = nl.add_gate("c", GateType.CONST1)
+    nl.set_outputs([c])
+    assert any("no primary inputs" in p for p in issues(nl))
+
+
+def test_bad_index_field_detected():
+    nl = good()
+    nl.gates[1].index = 42
+    assert any("index field" in p for p in issues(nl))
+
+
+def test_duplicate_names_detected():
+    nl = good()
+    nl.gates[1].name = "a"
+    assert any("duplicate" in p for p in issues(nl))
+
+
+def test_bad_arity_detected():
+    nl = good()
+    nl.gates[1].fanin = [0, 0]
+    assert any("NOT with 2" in p for p in issues(nl))
+
+
+def test_out_of_range_fanin_detected():
+    nl = good()
+    nl.gates[1].fanin = [17]
+    assert any("missing gate" in p for p in issues(nl))
+
+
+def test_out_of_range_output_detected():
+    nl = good()
+    nl.outputs = [99]
+    assert any("output references missing" in p for p in issues(nl))
+
+
+def test_cycle_detected_by_validate():
+    nl = Netlist("x")
+    a = nl.add_input("a")
+    g1 = nl.add_gate("g1", GateType.AND, [a, a])
+    g2 = nl.add_gate("g2", GateType.OR, [g1, a])
+    nl.gates[g1].fanin = [a, g2]
+    nl._dirty()
+    nl.set_outputs([g2])
+    assert any("cycle" in p for p in issues(nl))
+
+
+def test_validate_reports_count_of_extra_problems():
+    nl = good()
+    nl.outputs = []
+    nl.gates[1].fanin = [0, 0]
+    with pytest.raises(NetlistError, match="more"):
+        validate(nl)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.circuit import generators
+from repro.sim import PatternSet
+
+
+@pytest.fixture(scope="session")
+def c17():
+    return generators.c17()
+
+
+@pytest.fixture(scope="session")
+def s27():
+    return generators.s27()
+
+
+@pytest.fixture(scope="session")
+def rca4():
+    return generators.ripple_carry_adder(4)
+
+
+@pytest.fixture(scope="session")
+def alu4():
+    return generators.alu(4)
+
+
+@pytest.fixture(scope="session")
+def mult3():
+    return generators.array_multiplier(3)
+
+
+@pytest.fixture()
+def patterns256(c17):
+    return PatternSet.random(c17.num_inputs, 256, seed=11)

@@ -1,0 +1,112 @@
+"""Baselines, and agreement between the incremental engine and the
+brute-force oracle."""
+
+import pytest
+
+from repro.circuit import generators
+from repro.diagnose import (DiagnosisConfig, IncrementalDiagnoser, Mode,
+                            dictionary_diagnosis,
+                            exhaustive_multifault_diagnosis)
+from repro.faults import inject_stuck_at_faults
+from repro.sim import PatternSet
+
+
+def test_dictionary_finds_single_fault(c17):
+    workload = inject_stuck_at_faults(c17, 1, seed=1)
+    patterns = PatternSet.exhaustive(5)
+    matches = dictionary_diagnosis(c17, workload.impl, patterns)
+    assert matches
+    from repro.circuit import LineTable
+    table = LineTable(c17)
+    sites = {f"{table.describe(m.line)}/sa{m.value}" for m in matches}
+    truth = workload.truth[0]
+    assert f"{truth.site}/{truth.kind}" in {s.replace("sa", "sa")
+                                            for s in sites} or any(
+        truth.site.split("->")[0] == table.describe(m.line).split("->")[0]
+        and int(truth.kind[-1]) == m.value for m in matches)
+
+
+def test_dictionary_empty_for_double_fault_usually(c17):
+    """A two-fault behaviour usually matches no single-fault signature
+    (when it does, that is masking — also fine).  Check determinism and
+    type, not a universal claim."""
+    workload = inject_stuck_at_faults(c17, 2, seed=0)
+    patterns = PatternSet.exhaustive(5)
+    a = dictionary_diagnosis(c17, workload.impl, patterns)
+    b = dictionary_diagnosis(c17, workload.impl, patterns)
+    assert [m.key() for m in a] == [m.key() for m in b]
+
+
+def small_circuit():
+    from repro.circuit import GateType, Netlist
+    nl = Netlist("small")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    c = nl.add_input("c")
+    g1 = nl.add_gate("g1", GateType.NAND, [a, b])
+    g2 = nl.add_gate("g2", GateType.OR, [g1, c])
+    g3 = nl.add_gate("g3", GateType.XOR, [g1, g2])
+    nl.set_outputs([g2, g3])
+    return nl
+
+
+def test_exhaustive_baseline_validity():
+    spec = small_circuit()
+    workload = inject_stuck_at_faults(spec, 1, seed=2)
+    patterns = PatternSet.exhaustive(3)
+    # fault-model the good netlist toward the faulty device
+    solutions = exhaustive_multifault_diagnosis(workload.impl, spec,
+                                                patterns, max_faults=1)
+    assert solutions
+    truth = workload.truth[0]
+    assert any(truth.site in {r.site for r in s.records}
+               for s in solutions)
+
+
+def test_exhaustive_baseline_size_cap():
+    circuit = generators.alu(4)
+    workload = inject_stuck_at_faults(circuit, 1, seed=0)
+    with pytest.raises(ValueError, match="exceed"):
+        exhaustive_multifault_diagnosis(workload.impl, circuit,
+                                        PatternSet.random(11, 64),
+                                        max_lines=10)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_engine_agrees_with_oracle_single_fault(seed):
+    """On a small circuit with exhaustive vectors, the engine's exact
+    mode must return exactly the oracle's single-fault tuple set."""
+    spec = small_circuit()
+    workload = inject_stuck_at_faults(spec, 1, seed=seed)
+    patterns = PatternSet.exhaustive(3)
+    oracle = exhaustive_multifault_diagnosis(workload.impl, spec,
+                                             patterns, max_faults=1)
+    config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                             max_errors=1)
+    engine = IncrementalDiagnoser(workload.impl, spec, patterns, config)
+    result = engine.run()
+    got = {s.key for s in result.solutions}
+    want = {s.key for s in oracle}
+    # engine tuples must all be valid (subset of oracle); completeness
+    # must cover the oracle set on this easy instance
+    assert got <= want
+    assert got == want, (got, want)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_engine_tuples_subset_of_oracle_double_fault(seed):
+    spec = small_circuit()
+    workload = inject_stuck_at_faults(spec, 2, seed=seed)
+    patterns = PatternSet.exhaustive(3)
+    oracle = exhaustive_multifault_diagnosis(workload.impl, spec,
+                                             patterns, max_faults=2)
+    config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                             max_errors=2, max_nodes=20_000)
+    engine = IncrementalDiagnoser(workload.impl, spec, patterns, config)
+    result = engine.run()
+    got = {s.key for s in result.solutions}
+    want = {s.key for s in oracle}
+    assert got
+    assert got <= want
+    # the paper claims "nearly all": on this tiny circuit demand >= 80%
+    assert len(got) >= 0.8 * len(want), (len(got), len(want))

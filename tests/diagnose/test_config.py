@@ -1,0 +1,55 @@
+"""Configuration: relaxation ladders and knobs."""
+
+import pytest
+
+from repro.diagnose.config import (DiagnosisConfig, FLOOR, HLevel, Mode,
+                                   default_schedule)
+
+
+def test_hlevel_str():
+    assert str(HLevel(0.3, 0.7, 0.95)) == "0.3/0.7/0.95"
+    assert str(HLevel(1.0, 1.0, 1.0)) == "1/1/1"
+
+
+def test_single_error_ladder_starts_strict():
+    ladder = default_schedule(1)
+    assert ladder[0] == HLevel(1.0, 1.0, 1.0)
+    assert ladder[-1] == FLOOR
+
+
+@pytest.mark.parametrize("num_errors", [1, 2, 3, 4, 6])
+def test_ladders_monotonically_relax(num_errors):
+    ladder = default_schedule(num_errors)
+    for earlier, later in zip(ladder, ladder[1:]):
+        assert later.h1 <= earlier.h1
+        assert later.h2 <= earlier.h2
+        assert later.h3 <= earlier.h3
+    assert ladder[-1] == FLOOR
+
+
+def test_h1_relaxes_before_h2_h3():
+    """§3.3: 'h1 reduces first before h2 and h3 do since these two
+    parameters are error independent' — a high-cardinality ladder opens
+    with h1 already below the single-error opening h2/h3."""
+    deep = default_schedule(4)[0]
+    shallow = default_schedule(1)[0]
+    assert deep.h1 < shallow.h1
+    assert deep.h2 >= FLOOR.h2
+    assert deep.h3 >= FLOOR.h3
+
+
+def test_explicit_schedule_override():
+    config = DiagnosisConfig(schedule=[HLevel(0.5, 0.5, 0.5)])
+    assert config.ladder(3) == [HLevel(0.5, 0.5, 0.5)]
+    default = DiagnosisConfig()
+    assert default.ladder(2) == default_schedule(2)
+
+
+def test_config_defaults_match_paper_ranges():
+    config = DiagnosisConfig()
+    # "we select the top 5-20% of these lines" (§3.1)
+    assert 0.05 <= config.candidate_fraction <= 0.20
+    # paper: <=9 rounds observed, allowing up to 256 nodes
+    assert config.max_rounds == 9
+    assert config.mode is Mode.STUCK_AT
+    assert config.exact

@@ -1,0 +1,157 @@
+"""End-to-end engine behaviour in both protocols."""
+
+import pytest
+
+from repro.circuit import generators
+from repro.diagnose import (DiagnosisConfig, IncrementalDiagnoser, Mode,
+                            diagnose, matches_truth, rectifies)
+from repro.errors import DiagnosisError
+from repro.faults import (ErrorType, inject_stuck_at_faults,
+                          observable_design_error_workload)
+from repro.sim import PatternSet
+from repro.tgen import random_patterns
+
+
+def fault_engine(spec, workload, patterns, **kwargs):
+    """Fault-modeling direction: good netlist vs faulty device."""
+    config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True, **kwargs)
+    return IncrementalDiagnoser(workload.impl, spec, patterns, config)
+
+
+def test_single_fault_recovered_exactly(c17):
+    workload = inject_stuck_at_faults(c17, 1, seed=1)
+    patterns = PatternSet.random(5, 512, seed=9)
+    result = fault_engine(c17, workload, patterns, max_errors=2).run()
+    assert result.found
+    assert result.min_size == 1
+    assert any(matches_truth(s, workload.truth) for s in result.solutions)
+    # every reported tuple must actually rectify (netlist attached)
+    for solution in result.solutions:
+        assert rectifies(workload.impl, solution.netlist, patterns)
+
+
+@pytest.mark.parametrize("count", [2, 3])
+def test_multi_fault_tuples_all_valid(c17, count):
+    workload = inject_stuck_at_faults(c17, count, seed=3)
+    patterns = PatternSet.random(5, 512, seed=9)
+    result = fault_engine(c17, workload, patterns,
+                          max_errors=count).run()
+    assert result.found
+    for solution in result.solutions:
+        assert rectifies(workload.impl, solution.netlist, patterns)
+    assert result.min_size <= count
+
+
+def test_minimality_iterative_deepening(c17):
+    """Two injected faults that alias to one equivalent fault must come
+    back as size-1 tuples, never padded to size 2."""
+    found_masked = False
+    for seed in range(12):
+        workload = inject_stuck_at_faults(c17, 2, seed=seed)
+        patterns = PatternSet.random(5, 512, seed=9)
+        result = fault_engine(c17, workload, patterns,
+                              max_errors=2).run()
+        if result.found and result.min_size == 1:
+            found_masked = True
+            assert all(s.size == 1 for s in result.solutions)
+            break
+    assert found_masked, "no masking case in 12 seeds (unexpected)"
+
+
+def test_rectified_input_returns_empty(c17):
+    patterns = PatternSet.random(5, 128, seed=0)
+    config = DiagnosisConfig(mode=Mode.STUCK_AT)
+    result = IncrementalDiagnoser(c17, c17, patterns, config).run()
+    assert not result.found
+    assert result.initial_failing == 0
+    assert result.stats.nodes == 0
+
+
+@pytest.mark.parametrize("etype", [
+    ErrorType.GATE_REPLACEMENT,
+    ErrorType.EXTRA_INVERTER,
+    ErrorType.MISSING_INVERTER,
+    ErrorType.EXTRA_INPUT_WIRE,
+    ErrorType.MISSING_INPUT_WIRE,
+    ErrorType.WRONG_INPUT_WIRE,
+    ErrorType.EXTRA_GATE,
+    ErrorType.MISSING_GATE,
+])
+def test_dedc_repairs_every_error_type(alu4, etype):
+    """Each Abadir error class injected alone must be repairable."""
+    patterns = random_patterns(alu4, 768, seed=5)
+    workload = observable_design_error_workload(
+        alu4, 1, patterns, seed=2, distribution={etype: 1.0})
+    config = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                             max_errors=2, time_budget=60.0)
+    result = IncrementalDiagnoser(alu4, workload.impl, patterns,
+                                  config).run()
+    assert result.found, etype
+    best = result.solutions[0]
+    assert rectifies(alu4, best.netlist, patterns)
+
+
+def test_dedc_three_errors(alu4):
+    patterns = random_patterns(alu4, 768, seed=5)
+    workload = observable_design_error_workload(alu4, 3, patterns,
+                                                seed=11)
+    config = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                             max_errors=4, time_budget=120.0)
+    result = IncrementalDiagnoser(alu4, workload.impl, patterns,
+                                  config).run()
+    assert result.found
+    assert rectifies(alu4, result.solutions[0].netlist, patterns)
+    # §4.2 claim: applied corrections rank near the top of their nodes
+    worst = max(r.rank_position for r in result.solutions[0].records)
+    assert worst <= 10
+
+
+def test_interface_mismatch_rejected(c17, alu4):
+    patterns = PatternSet.random(5, 64, seed=0)
+    with pytest.raises(DiagnosisError, match="inputs"):
+        IncrementalDiagnoser(c17, alu4, patterns)
+
+
+def test_sequential_impl_rejected(c17, s27):
+    patterns = PatternSet.random(4, 64, seed=0)
+    with pytest.raises(DiagnosisError, match="full-scan"):
+        IncrementalDiagnoser(s27, s27, patterns)
+
+
+def test_time_budget_respected(c17):
+    import time
+    workload = inject_stuck_at_faults(c17, 3, seed=0)
+    patterns = PatternSet.random(5, 512, seed=9)
+    t0 = time.perf_counter()
+    result = fault_engine(c17, workload, patterns, max_errors=3,
+                          time_budget=0.05).run()
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 5.0  # budget short-circuits deeper levels
+
+
+def test_diagnose_wrapper(c17):
+    workload = inject_stuck_at_faults(c17, 1, seed=1)
+    patterns = PatternSet.random(5, 512, seed=9)
+    result = diagnose(workload.impl, c17, patterns, mode=Mode.STUCK_AT,
+                      max_errors=1)
+    assert result.found
+
+
+def test_result_summary_readable(c17):
+    workload = inject_stuck_at_faults(c17, 1, seed=1)
+    patterns = PatternSet.random(5, 512, seed=9)
+    result = fault_engine(c17, workload, patterns, max_errors=1).run()
+    text = result.summary()
+    assert "correction set" in text
+    assert "site" in text
+
+
+def test_stats_accumulate(c17):
+    workload = inject_stuck_at_faults(c17, 2, seed=5)
+    patterns = PatternSet.random(5, 512, seed=9)
+    result = fault_engine(c17, workload, patterns, max_errors=2).run()
+    stats = result.stats
+    assert stats.nodes > 0
+    assert stats.total_time > 0
+    assert stats.levels_tried
+    assert stats.diag_time >= 0 and stats.corr_time >= 0

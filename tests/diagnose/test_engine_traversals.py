@@ -1,0 +1,35 @@
+"""End-to-end DEDC under each global traversal strategy."""
+
+import pytest
+
+from repro.diagnose import (DiagnosisConfig, IncrementalDiagnoser, Mode,
+                            rectifies)
+from repro.faults import observable_design_error_workload
+from repro.sim import PatternSet
+
+
+@pytest.mark.parametrize("traversal", ["rounds", "dfs", "bfs"])
+def test_dedc_single_error_any_traversal(c17, traversal):
+    patterns = PatternSet.random(5, 512, seed=3)
+    workload = observable_design_error_workload(c17, 1, patterns,
+                                                seed=1)
+    config = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                             max_errors=2, traversal=traversal,
+                             time_budget=30.0)
+    result = IncrementalDiagnoser(c17, workload.impl, patterns,
+                                  config).run()
+    assert result.found, traversal
+    assert rectifies(c17, result.solutions[0].netlist, patterns)
+
+
+@pytest.mark.parametrize("traversal", ["rounds", "dfs"])
+def test_dedc_double_error_traversals(alu4, traversal):
+    patterns = PatternSet.random(alu4.num_inputs, 512, seed=3)
+    workload = observable_design_error_workload(alu4, 2, patterns,
+                                                seed=1)
+    config = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                             max_errors=3, traversal=traversal,
+                             time_budget=45.0)
+    result = IncrementalDiagnoser(alu4, workload.impl, patterns,
+                                  config).run()
+    assert result.found, traversal

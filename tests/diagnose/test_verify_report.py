@@ -1,0 +1,71 @@
+"""Verification helpers and result/report objects."""
+
+from repro.circuit import GateType
+from repro.diagnose import (exhaustively_equivalent, matches_truth,
+                            rectifies)
+from repro.diagnose.report import (CorrectionRecord, DiagnosisResult,
+                                   EngineStats, Solution)
+from repro.faults import inject_stuck_at_faults
+from repro.sim import PatternSet
+
+
+def test_rectifies_and_exhaustive(c17):
+    patterns = PatternSet.random(5, 128, seed=0)
+    assert rectifies(c17, c17.copy(), patterns)
+    assert exhaustively_equivalent(c17, c17.copy())
+    workload = inject_stuck_at_faults(c17, 1, seed=0)
+    assert not exhaustively_equivalent(c17, workload.impl)
+
+
+def test_correction_record_accessors():
+    rec = CorrectionRecord("sa1@n12->g7.1", "sa1", "n12->g7.1", 2, 3)
+    assert rec.driver_name == "n12"
+    assert rec.polarity == 1
+    rec2 = CorrectionRecord("gate_replace[NOR]@g", "gate_replace", "g")
+    assert rec2.polarity is None
+    assert rec2.driver_name == "g"
+
+
+def test_solution_key_and_describe():
+    recs = (CorrectionRecord("sa1@a", "sa1", "a"),
+            CorrectionRecord("sa0@b", "sa0", "b"))
+    sol = Solution(recs)
+    assert sol.size == 2
+    assert sol.key == frozenset({"sa1@a", "sa0@b"})
+    assert sol.sites == frozenset({"a", "b"})
+    assert sol.describe() == "sa0@b + sa1@a"
+
+
+def test_matches_truth_tolerates_branch_stem():
+    from repro.faults.inject import InjectionRecord
+    truth = [InjectionRecord("sa1", "n12->g7.1")]
+    stem_sol = Solution((CorrectionRecord("sa1@n12", "sa1", "n12"),))
+    assert matches_truth(stem_sol, truth)
+    wrong_pol = Solution((CorrectionRecord("sa0@n12", "sa0", "n12"),))
+    assert not matches_truth(wrong_pol, truth)
+    wrong_site = Solution((CorrectionRecord("sa1@n13", "sa1", "n13"),))
+    assert not matches_truth(wrong_site, truth)
+
+
+def test_engine_stats_merge():
+    a = EngineStats(nodes=3, rounds=2, diag_time=1.0, corr_time=0.5,
+                    total_time=2.0, levels_tried=["x"])
+    b = EngineStats(nodes=4, rounds=5, diag_time=0.5, corr_time=0.5,
+                    total_time=1.0, levels_tried=["y"], truncated=True)
+    a.merge(b)
+    assert a.nodes == 7
+    assert a.rounds == 5
+    assert a.truncated
+    assert a.levels_tried == ["x", "y"]
+
+
+def test_result_properties():
+    recs = (CorrectionRecord("sa1@a", "sa1", "a"),)
+    result = DiagnosisResult([Solution(recs)], EngineStats(), 100, 10)
+    assert result.found
+    assert result.min_size == 1
+    assert result.distinct_sites() == {"a"}
+    empty = DiagnosisResult([], EngineStats(), 100, 10)
+    assert not empty.found
+    assert empty.min_size == 0
+    assert "0 correction set(s)" in empty.summary()

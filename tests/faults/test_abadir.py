@@ -1,0 +1,34 @@
+"""The Abadir design-error model metadata."""
+
+from repro.faults.abadir import (DEFAULT_ERROR_DISTRIBUTION, ErrorType,
+                                 GATE_RELATED, REPAIRING_KIND,
+                                 WIRE_RELATED)
+from repro.faults.models import CorrectionKind
+
+
+def test_distribution_covers_all_types_and_sums_to_one():
+    assert set(DEFAULT_ERROR_DISTRIBUTION) == set(ErrorType)
+    assert abs(sum(DEFAULT_ERROR_DISTRIBUTION.values()) - 1.0) < 1e-9
+    assert all(w > 0 for w in DEFAULT_ERROR_DISTRIBUTION.values())
+
+
+def test_every_error_has_a_repairing_correction():
+    assert set(REPAIRING_KIND) == set(ErrorType)
+    assert set(REPAIRING_KIND.values()) <= set(CorrectionKind)
+
+
+def test_gate_wire_partition():
+    assert GATE_RELATED | WIRE_RELATED == frozenset(ErrorType)
+    assert not GATE_RELATED & WIRE_RELATED
+
+
+def test_repair_pairs_are_inverses():
+    """Each error type's repair undoes it (spot-check semantics)."""
+    assert REPAIRING_KIND[ErrorType.EXTRA_INVERTER] \
+        is CorrectionKind.REMOVE_INVERTER
+    assert REPAIRING_KIND[ErrorType.MISSING_INVERTER] \
+        is CorrectionKind.INSERT_INVERTER
+    assert REPAIRING_KIND[ErrorType.EXTRA_INPUT_WIRE] \
+        is CorrectionKind.REMOVE_INPUT_WIRE
+    assert REPAIRING_KIND[ErrorType.MISSING_INPUT_WIRE] \
+        is CorrectionKind.ADD_INPUT_WIRE

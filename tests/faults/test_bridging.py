@@ -1,0 +1,92 @@
+"""Bridging fault model and diagnosis (the §4.1 extension)."""
+
+import pytest
+
+from repro.circuit import GateType, Netlist, generators
+from repro.errors import InjectionError
+from repro.faults.bridging import (BridgeKind, BridgingDiagnoser,
+                                   apply_bridge, inject_bridging_fault)
+from repro.sim import PatternSet, output_rows, simulate
+from repro.sim.packing import unpack_bits
+
+
+def test_apply_bridge_semantics():
+    nl = Netlist("b")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    ya = nl.add_gate("ya", GateType.BUF, [a])
+    yb = nl.add_gate("yb", GateType.BUF, [b])
+    nl.set_outputs([ya, yb])
+    shorted = nl.copy()
+    apply_bridge(shorted, a, b, BridgeKind.AND)
+    patterns = PatternSet.exhaustive(2)
+    outs = unpack_bits(output_rows(shorted, simulate(shorted, patterns)),
+                       patterns.nbits)
+    for v in range(4):
+        bits = patterns.vector(v)
+        assert outs[0, v] == outs[1, v] == (bits[0] & bits[1])
+    ored = nl.copy()
+    apply_bridge(ored, a, b, BridgeKind.OR)
+    outs = unpack_bits(output_rows(ored, simulate(ored, patterns)),
+                       patterns.nbits)
+    for v in range(4):
+        bits = patterns.vector(v)
+        assert outs[0, v] == (bits[0] | bits[1])
+
+
+def test_apply_bridge_rejects_feedback_and_self(c17):
+    nl = c17.copy()
+    with pytest.raises(InjectionError, match="itself"):
+        apply_bridge(nl, 0, 0, BridgeKind.AND)
+    # gate 10 is in the fanout cone of input 1
+    with pytest.raises(InjectionError, match="fanout cone"):
+        apply_bridge(nl, nl.index_of("1"), nl.index_of("10"),
+                     BridgeKind.AND)
+
+
+def test_inject_bridging_fault_deterministic(alu4):
+    a = inject_bridging_fault(alu4, seed=3)
+    b = inject_bridging_fault(alu4, seed=3)
+    assert a.truth[0].site == b.truth[0].site
+    assert a.truth[0].detail == b.truth[0].detail
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_bridging_diagnosis_recovers_the_short(seed):
+    """Observable injected bridges must come back from the diagnoser
+    (possibly among equivalent pairs)."""
+    circuit = generators.alu(4)
+    patterns = PatternSet.random(circuit.num_inputs, 512, seed=1)
+    workload = inject_bridging_fault(circuit, seed=seed)
+    # observability check
+    from repro.sim import count_failing
+    spec_out = output_rows(circuit, simulate(circuit, patterns))
+    impl_out = output_rows(workload.impl,
+                           simulate(workload.impl, patterns))
+    if count_failing(spec_out, impl_out, patterns.nbits) == 0:
+        pytest.skip("bridge unobservable on these vectors")
+    diag = BridgingDiagnoser(workload.impl, circuit, patterns,
+                             partner_limit=25, time_budget=60.0)
+    result = diag.run()
+    assert result.found
+    # every returned bridge must reproduce the device exactly
+    from repro.sim import equivalent
+    impl_out = output_rows(workload.impl,
+                           simulate(workload.impl, patterns))
+    for fault in result.faults:
+        candidate = circuit.copy()
+        apply_bridge(candidate, circuit.index_of(fault.net_a),
+                     circuit.index_of(fault.net_b), fault.kind)
+        out = output_rows(candidate, simulate(candidate, patterns))
+        assert equivalent(out, impl_out, patterns.nbits), str(fault)
+    truth_nets = {workload.truth[0].site,
+                  workload.truth[0].detail.lstrip("<->")}
+    hit = any({f.net_a, f.net_b} == truth_nets for f in result.faults)
+    assert hit, (truth_nets, [str(f) for f in result.faults])
+
+
+def test_bridging_diagnoser_clean_device(c17):
+    patterns = PatternSet.random(5, 128, seed=0)
+    result = BridgingDiagnoser(c17.copy(), c17, patterns).run()
+    assert not result.found
+    assert result.candidates_scored == 0

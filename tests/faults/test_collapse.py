@@ -1,0 +1,57 @@
+"""Stuck-at fault equivalence collapsing.
+
+The semantic check: every pair of faults placed in the same equivalence
+class must have identical detection masks on random vectors (structural
+equivalence implies functional indistinguishability).
+"""
+
+from collections import defaultdict
+
+import numpy as np
+import pytest
+
+from repro.circuit import LineTable, generators
+from repro.faults.collapse import (collapse_ratio, collapsed_faults,
+                                   equivalence_classes)
+from repro.sim import FaultSimulator, PatternSet, SimFault, all_faults
+
+
+@pytest.mark.parametrize("name", ["c17", "r432"])
+def test_classes_are_functionally_equivalent(name):
+    circuit = generators.by_name(name, scale=0.25)
+    table = LineTable(circuit)
+    mapping = equivalence_classes(circuit, table)
+    patterns = PatternSet.random(circuit.num_inputs, 256, seed=3)
+    fsim = FaultSimulator(circuit, patterns, table)
+    by_class = defaultdict(list)
+    for fault_key, root in mapping.items():
+        by_class[root].append(fault_key)
+    for root, members in by_class.items():
+        if len(members) == 1:
+            continue
+        masks = [fsim.detection_mask(SimFault(line, value))
+                 for line, value in members]
+        for mask in masks[1:]:
+            assert np.array_equal(mask, masks[0]), (root, members)
+
+
+def test_collapsing_shrinks_fault_list(c17):
+    table = LineTable(c17)
+    collapsed = collapsed_faults(c17, table)
+    assert len(collapsed) < len(all_faults(table))
+    # c17's classic collapsed fault count is 22
+    assert len(collapsed) == 22
+
+
+def test_collapse_ratio_bounds(alu4):
+    ratio = collapse_ratio(alu4)
+    assert 0.0 < ratio < 1.0
+
+
+def test_every_fault_has_a_class(c17):
+    table = LineTable(c17)
+    mapping = equivalence_classes(c17, table)
+    assert len(mapping) == 2 * len(table)
+    roots = set(mapping.values())
+    for root in roots:
+        assert mapping[root] == root  # roots map to themselves

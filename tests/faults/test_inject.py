@@ -1,0 +1,77 @@
+"""Fault and design-error injection workloads."""
+
+import pytest
+
+from repro.circuit import generators
+from repro.errors import InjectionError
+from repro.faults import (ErrorType, ground_truth_faults,
+                          inject_design_errors, inject_stuck_at_faults,
+                          observable_design_error_workload)
+from repro.sim import (PatternSet, count_failing, output_rows, simulate)
+
+
+def test_stuck_at_injection_ground_truth(c17):
+    workload = inject_stuck_at_faults(c17, 2, seed=5)
+    assert len(workload.truth) == 2
+    sites = [r.site for r in workload.truth]
+    assert len(set(sites)) == 2
+    for record in workload.truth:
+        assert record.kind in ("sa0", "sa1")
+    faults = ground_truth_faults(workload)
+    assert len(faults) == 2
+    assert all(str(f).endswith(("sa0", "sa1")) for f in faults)
+
+
+def test_stuck_at_injection_is_deterministic(c17):
+    a = inject_stuck_at_faults(c17, 3, seed=9)
+    b = inject_stuck_at_faults(c17, 3, seed=9)
+    assert [r.site for r in a.truth] == [r.site for r in b.truth]
+    c = inject_stuck_at_faults(c17, 3, seed=10)
+    assert [r.site for r in a.truth] != [r.site for r in c.truth]
+
+
+def test_stuck_at_injection_changes_structure_not_interface(c17):
+    workload = inject_stuck_at_faults(c17, 2, seed=1)
+    assert workload.impl.num_inputs == c17.num_inputs
+    assert workload.impl.num_outputs == c17.num_outputs
+    assert len(workload.impl.gates) == len(c17.gates) + 2
+
+
+def test_too_many_faults_rejected(c17):
+    with pytest.raises(InjectionError):
+        inject_stuck_at_faults(c17, 1000, seed=0)
+
+
+@pytest.mark.parametrize("etype", list(ErrorType))
+def test_each_error_type_injectable(etype, alu4):
+    workload = inject_design_errors(alu4, 1, seed=3,
+                                    distribution={etype: 1.0})
+    assert len(workload.truth) == 1
+    assert workload.truth[0].kind == etype.value
+    # interface preserved
+    assert workload.impl.num_inputs == alu4.num_inputs
+    assert workload.impl.num_outputs == alu4.num_outputs
+
+
+def test_multi_error_injection(alu4):
+    workload = inject_design_errors(alu4, 4, seed=0)
+    assert len(workload.truth) == 4
+
+
+def test_observable_workload_actually_fails(alu4):
+    patterns = PatternSet.random(alu4.num_inputs, 512, seed=2)
+    workload = observable_design_error_workload(alu4, 2, patterns,
+                                                seed=4)
+    spec_out = output_rows(alu4, simulate(alu4, patterns))
+    impl_out = output_rows(workload.impl,
+                           simulate(workload.impl, patterns))
+    assert count_failing(spec_out, impl_out, patterns.nbits) > 0
+
+
+def test_missing_inverter_needs_an_inverter():
+    nl = generators.c17()  # all NAND, no NOT gates
+    with pytest.raises(InjectionError):
+        inject_design_errors(
+            nl, 1, seed=0,
+            distribution={ErrorType.MISSING_INVERTER: 1.0},
+            max_attempts=5)

@@ -1,0 +1,79 @@
+"""CNF builders: gate encodings and cardinality constraints."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import GateType
+from repro.sat.cnf import CnfBuilder
+from repro.sat.solver import SatSolver
+from repro.circuit.gatetypes import eval_scalar
+
+CASES = ([(g, 1) for g in (GateType.BUF, GateType.NOT)]
+         + [(g, n) for g in (GateType.AND, GateType.NAND, GateType.OR,
+                             GateType.NOR, GateType.XOR, GateType.XNOR)
+            for n in (2, 3)])
+
+
+@pytest.mark.parametrize("gtype,n_inputs", CASES,
+                         ids=[f"{g.name}{n}" for g, n in CASES])
+def test_gate_encoding_matches_semantics(gtype, n_inputs):
+    for combo in itertools.product([False, True], repeat=n_inputs):
+        builder = CnfBuilder(SatSolver())
+        ins = [builder.new_var() for _ in range(n_inputs)]
+        out = builder.new_var()
+        builder.encode_gate(gtype, out, ins)
+        for var, value in zip(ins, combo):
+            builder.constant(var, value)
+        assert builder.solver.solve() is True
+        expected = bool(eval_scalar(gtype, [int(v) for v in combo]))
+        assert builder.solver.model()[out] == expected, (gtype, combo)
+
+
+def test_constants_and_equal():
+    builder = CnfBuilder()
+    a, b = builder.new_var(), builder.new_var()
+    builder.equal(a, b)
+    builder.constant(a, True)
+    assert builder.solver.solve() is True
+    assert builder.solver.model()[b] is True
+
+
+def test_mux_encoding():
+    for sel_v, t_v, f_v in itertools.product([False, True], repeat=3):
+        builder = CnfBuilder()
+        sel, t, f, out = (builder.new_var() for _ in range(4))
+        builder.mux(out, sel, t, f)
+        builder.constant(sel, sel_v)
+        builder.constant(t, t_v)
+        builder.constant(f, f_v)
+        assert builder.solver.solve() is True
+        assert builder.solver.model()[out] == (t_v if sel_v else f_v)
+
+
+@pytest.mark.parametrize("n,k", [(4, 0), (4, 1), (4, 2), (5, 3), (3, 3)])
+def test_at_most_k_exact_boundary(n, k):
+    """All assignments with <= k true are SAT, any k+1 subset is not."""
+    builder = CnfBuilder()
+    variables = [builder.new_var() for _ in range(n)]
+    builder.at_most_k(variables, k)
+    solver = builder.solver
+    # forcing exactly k true is satisfiable (when k <= n)
+    if k <= n:
+        assumptions = [variables[i] for i in range(k)] + \
+            [-variables[i] for i in range(k, n)]
+        assert solver.solve(assumptions=assumptions) is True
+    # forcing k+1 true must fail
+    if k + 1 <= n:
+        assumptions = [variables[i] for i in range(k + 1)]
+        assert solver.solve(assumptions=assumptions) is False
+
+
+def test_at_least_one():
+    builder = CnfBuilder()
+    variables = [builder.new_var() for _ in range(3)]
+    builder.at_least_one(variables)
+    solver = builder.solver
+    assert solver.solve(assumptions=[-v for v in variables]) is False
+    assert solver.solve(assumptions=[-variables[0],
+                                     -variables[1]]) is True

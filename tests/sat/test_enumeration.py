@@ -1,0 +1,42 @@
+"""SAT model enumeration completeness on known formulas."""
+
+import itertools
+
+from repro.sat.solver import SatSolver
+
+
+def count_models(num_vars, clauses):
+    solver = SatSolver(num_vars)
+    for clause in clauses:
+        solver.add_clause(clause)
+    count = 0
+    while solver.solve() is True:
+        model = solver.model()
+        count += 1
+        solver.block([v if model.get(v, True) else -v
+                      for v in range(1, num_vars + 1)])
+        if count > 2 ** num_vars:
+            raise AssertionError("enumeration does not terminate")
+    return count
+
+
+def brute_count(num_vars, clauses):
+    total = 0
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in cl)
+               for cl in clauses):
+            total += 1
+    return total
+
+
+def test_enumeration_counts_match_brute_force():
+    cases = [
+        (3, [[1, 2], [-2, 3]]),
+        (4, [[1], [-1, 2, 3], [-3, -4]]),
+        (3, [[1, 2, 3]]),
+        (2, [[1], [-1]]),           # UNSAT: zero models
+        (3, []),                    # free: 8 models
+    ]
+    for num_vars, clauses in cases:
+        assert count_models(num_vars, clauses) \
+            == brute_count(num_vars, clauses), clauses

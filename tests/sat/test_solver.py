@@ -1,0 +1,117 @@
+"""CDCL solver: correctness against brute force, API behaviour."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat.solver import SatSolver
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[abs(l) - 1] == (l > 0) for l in cl)
+               for cl in clauses):
+            return True
+    return False
+
+
+def test_trivial_cases():
+    solver = SatSolver()
+    assert solver.solve() is True          # empty formula
+    solver.add_clause([1])
+    assert solver.solve() is True
+    assert solver.model()[1] is True
+    solver.add_clause([-1])
+    assert solver.solve() is False         # unit conflict
+
+
+def test_empty_clause_is_unsat():
+    solver = SatSolver()
+    solver.add_clause([])
+    assert solver.solve() is False
+
+
+def test_tautologies_are_dropped():
+    solver = SatSolver()
+    solver.add_clause([1, -1])
+    assert solver.solve() is True
+
+
+def test_zero_literal_rejected():
+    solver = SatSolver()
+    with pytest.raises(ValueError):
+        solver.add_clause([0, 1])
+
+
+def test_pigeonhole_3_into_2_unsat():
+    """PHP(3,2): 3 pigeons, 2 holes — classic small UNSAT instance."""
+    solver = SatSolver()
+    def var(p, h):
+        return p * 2 + h + 1
+    for p in range(3):
+        solver.add_clause([var(p, 0), var(p, 1)])
+    for h in range(2):
+        for p1 in range(3):
+            for p2 in range(p1 + 1, 3):
+                solver.add_clause([-var(p1, h), -var(p2, h)])
+    assert solver.solve() is False
+    assert solver.stats.conflicts > 0
+
+
+def test_assumptions():
+    solver = SatSolver()
+    solver.add_clause([1, 2])
+    assert solver.solve(assumptions=[-1]) is True
+    assert solver.model()[2] is True
+    solver.add_clause([-2])
+    assert solver.solve(assumptions=[-1]) is False
+    assert solver.solve() is True  # still SAT without the assumption
+
+
+def test_enumeration_with_blocking():
+    solver = SatSolver()
+    solver.add_clause([1, 2])
+    models = set()
+    while solver.solve() is True:
+        model = solver.model()
+        bits = tuple(bool(model.get(v)) for v in (1, 2))
+        models.add(bits)
+        solver.block([v if model.get(v) else -v for v in (1, 2)])
+    assert models == {(True, False), (False, True), (True, True)}
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_instances_match_brute_force(seed):
+    rng = random.Random(seed)
+    for _ in range(60):
+        num_vars = rng.randint(3, 10)
+        num_clauses = rng.randint(2, num_vars * 4)
+        clauses = [[rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 3))]
+                   for _ in range(num_clauses)]
+        solver = SatSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        got = solver.solve()
+        assert got == brute_force_sat(num_vars, clauses), clauses
+        if got:
+            model = solver.model()
+            for clause in clauses:
+                assert any(model.get(abs(l), l > 0) == (l > 0)
+                           for l in clause)
+
+
+def test_conflict_limit_returns_none():
+    """A hard UNSAT instance with a 1-conflict budget must give up."""
+    solver = SatSolver()
+    def var(p, h):
+        return p * 3 + h + 1
+    for p in range(4):
+        solver.add_clause([var(p, h) for h in range(3)])
+    for h in range(3):
+        for p1 in range(4):
+            for p2 in range(p1 + 1, 4):
+                solver.add_clause([-var(p1, h), -var(p2, h)])
+    assert solver.solve(conflict_limit=1) is None
+    assert solver.solve() is False  # and solvable without the limit

@@ -1,0 +1,39 @@
+"""Output comparison and failing-vector masks."""
+
+import numpy as np
+
+from repro.sim.compare import (count_failing, diff_rows, equivalent,
+                               failing_vector_mask, masked)
+
+
+def test_masked_clears_tail():
+    words = np.full((2, 2), 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+    out = masked(words, 70)
+    assert int(out[0, 0]) == 0xFFFFFFFFFFFFFFFF
+    assert int(out[0, 1]) == 0b111111
+    # original untouched
+    assert int(words[0, 1]) == 0xFFFFFFFFFFFFFFFF
+
+
+def test_masked_1d():
+    words = np.full(2, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+    assert int(masked(words, 65)[1]) == 1
+
+
+def test_diff_and_failing_mask():
+    spec = np.array([[0b1100], [0b0000]], dtype=np.uint64)
+    impl = np.array([[0b1000], [0b0001]], dtype=np.uint64)
+    diff = diff_rows(spec, impl, 4)
+    assert int(diff[0, 0]) == 0b0100
+    assert int(diff[1, 0]) == 0b0001
+    mask = failing_vector_mask(spec, impl, 4)
+    assert int(mask[0]) == 0b0101
+    assert count_failing(spec, impl, 4) == 2
+    assert not equivalent(spec, impl, 4)
+
+
+def test_equivalent_ignores_tail_garbage():
+    spec = np.array([[0b0011]], dtype=np.uint64)
+    impl = np.array([[0b1011]], dtype=np.uint64)  # differs at bit 3
+    assert equivalent(spec, impl, 3)   # only 3 vectors are real
+    assert not equivalent(spec, impl, 4)

@@ -1,0 +1,69 @@
+"""PPSFP fault simulation against brute-force fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import LineTable, generators
+from repro.sim import (FaultSimulator, PatternSet, SimFault, all_faults,
+                       output_rows, popcount, simulate)
+from repro.sim.compare import failing_vector_mask
+
+
+def brute_force_mask(netlist, table, fault, patterns):
+    """Inject the fault structurally and compare full simulations."""
+    mutated = netlist.copy()
+    line = table[fault.line]
+    if line.is_stem:
+        mutated.tie_stem_to_constant(line.driver, fault.value)
+    else:
+        mutated.tie_branch_to_constant(line.sink, line.pin, fault.value)
+    good = output_rows(netlist, simulate(netlist, patterns))
+    bad = output_rows(mutated, simulate(mutated, patterns))
+    return failing_vector_mask(good, bad, patterns.nbits)
+
+
+@pytest.mark.parametrize("name", ["c17", "r432"])
+def test_detection_masks_match_brute_force(name):
+    circuit = generators.by_name(name, scale=0.25)
+    table = LineTable(circuit)
+    patterns = PatternSet.random(circuit.num_inputs, 192, seed=9)
+    fsim = FaultSimulator(circuit, patterns, table)
+    for fault in all_faults(table):
+        got = fsim.detection_mask(fault)
+        want = brute_force_mask(circuit, table, fault, patterns)
+        assert np.array_equal(got, want), table.describe(fault.line)
+
+
+def test_all_faults_count(c17):
+    table = LineTable(c17)
+    assert len(all_faults(table)) == 2 * 17
+
+
+def test_coverage_and_run(c17):
+    table = LineTable(c17)
+    patterns = PatternSet.exhaustive(5)
+    fsim = FaultSimulator(c17, patterns, table)
+    faults = all_faults(table)
+    # exhaustive vectors detect every irredundant fault of c17 (c17 has
+    # no redundancy)
+    assert fsim.coverage(faults) == 1.0
+    masks = fsim.run(faults)
+    assert len(masks) == len(faults)
+    assert all(popcount(m) > 0 for m in masks.values())
+    dropped = fsim.run(faults, drop_detected=True)
+    assert len(dropped) == len(faults)
+
+
+def test_sparse_vectors_miss_faults(c17):
+    table = LineTable(c17)
+    patterns = PatternSet.from_vectors([[0, 0, 0, 0, 0]])
+    fsim = FaultSimulator(c17, patterns, table)
+    assert fsim.coverage(all_faults(table)) < 1.0
+
+
+def test_detects_boolean(c17):
+    table = LineTable(c17)
+    patterns = PatternSet.exhaustive(5)
+    fsim = FaultSimulator(c17, patterns, table)
+    fault = SimFault(table.stem(c17.index_of("22")).index, 0)
+    assert fsim.detects(fault)

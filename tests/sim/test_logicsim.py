@@ -1,0 +1,135 @@
+"""Bit-parallel simulation against the scalar oracle; incremental
+propagation against full re-simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import GateType, Netlist, generators
+from repro.circuit.gatetypes import eval_scalar
+from repro.errors import SimulationError
+from repro.sim import (PatternSet, Simulator, lookup, output_rows,
+                       propagate, simulate)
+from repro.sim.packing import unpack_bits
+
+
+def scalar_reference(netlist, vector_bits):
+    """Slow per-vector evaluation used as the oracle."""
+    values = {}
+    pis = netlist.inputs
+    for row, pi in enumerate(pis):
+        values[pi] = int(vector_bits[row])
+    for idx in netlist.topo_order():
+        gate = netlist.gates[idx]
+        if gate.gtype is GateType.INPUT:
+            continue
+        if gate.gtype is GateType.CONST0:
+            values[idx] = 0
+        elif gate.gtype is GateType.CONST1:
+            values[idx] = 1
+        elif gate.gtype is GateType.DFF:
+            values[idx] = 0
+        else:
+            values[idx] = eval_scalar(gate.gtype,
+                                      [values[s] for s in gate.fanin])
+    return values
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_simulate_matches_scalar_oracle(seed):
+    circuit = generators.random_dag(5, 40, 4, seed=seed)
+    patterns = PatternSet.random(5, 70, seed=seed)
+    values = simulate(circuit, patterns)
+    bits = unpack_bits(values, patterns.nbits)
+    for v in (0, 17, 69):
+        ref = scalar_reference(circuit, patterns.vector(v))
+        for idx in circuit.live_set():
+            assert bits[idx, v] == ref[idx], circuit.gates[idx].name
+
+
+def test_simulate_input_count_checked(c17):
+    with pytest.raises(SimulationError, match="inputs"):
+        simulate(c17, PatternSet.random(3, 64))
+
+
+def test_constants_simulate(patterns256=None):
+    nl = Netlist("k")
+    a = nl.add_input("a")
+    zero = nl.add_gate("z", GateType.CONST0)
+    one = nl.add_gate("o", GateType.CONST1)
+    g = nl.add_gate("g", GateType.AND, [a, one])
+    h = nl.add_gate("h", GateType.OR, [g, zero])
+    nl.set_outputs([h])
+    pats = PatternSet.exhaustive(1)
+    bits = unpack_bits(simulate(nl, pats), 2)
+    assert list(bits[h]) == [0, 1]
+
+
+def test_dff_gets_ppi_values(s27):
+    pats = PatternSet.random(4, 64, seed=0)
+    ff = s27.dffs()[0]
+    forced = np.full(1, 0xFFFFFFFFFFFFFFFF, dtype=np.uint64)
+    with_state = simulate(s27, pats, ppi_values={ff: forced})
+    without = simulate(s27, pats)
+    assert int(with_state[ff][0]) == 0xFFFFFFFFFFFFFFFF
+    assert int(without[ff][0]) == 0
+
+
+def test_propagate_stem_matches_full_resim(alu4):
+    pats = PatternSet.random(alu4.num_inputs, 128, seed=2)
+    values = simulate(alu4, pats)
+    target = alu4.index_of("fa1_s")
+    forced = np.zeros_like(values[target])
+    changed = propagate(alu4, values, stem_overrides={target: forced})
+    # reference: copy values, force row, re-simulate downstream by
+    # building a mutated netlist where the signal is a constant
+    mutated = alu4.copy()
+    mutated.tie_stem_to_constant(target, 0)
+    ref = simulate(mutated, pats)
+    for po_pos, po in enumerate(alu4.outputs):
+        row = lookup(changed, values, po)
+        assert np.array_equal(row, ref[mutated.outputs[po_pos]])
+
+
+def test_propagate_pin_override_is_local(c17):
+    pats = PatternSet.random(5, 128, seed=1)
+    values = simulate(c17, pats)
+    g16 = c17.index_of("16")
+    g19 = c17.index_of("19")
+    # force gate 16's view of signal 11 to zero; gate 19 still sees 11
+    forced = np.zeros_like(values[0])
+    changed = propagate(c17, values,
+                        pin_overrides={(g16, 1): forced})
+    mutated = c17.copy()
+    mutated.tie_branch_to_constant(g16, 1, 0)
+    ref = simulate(mutated, pats)
+    for po_pos, po in enumerate(c17.outputs):
+        assert np.array_equal(lookup(changed, values, po), ref[po])
+    assert g19 not in changed  # 19 reads the unforced stem
+
+
+def test_propagate_empty_override_is_noop(c17, patterns256):
+    values = simulate(c17, patterns256)
+    assert propagate(c17, values) == {}
+
+
+def test_propagate_reports_only_changes(c17, patterns256):
+    values = simulate(c17, patterns256)
+    target = c17.index_of("10")
+    same = values[target].copy()
+    changed = propagate(c17, values, stem_overrides={target: same})
+    assert set(changed) == {target}  # override recorded, nothing changed
+
+
+def test_simulator_wrapper(c17, patterns256):
+    sim = Simulator(c17, patterns256)
+    assert sim.outputs().shape == (2, patterns256.num_words)
+    target = c17.index_of("11")
+    forced = np.zeros_like(sim.values[target])
+    changed = sim.propagate_stem(target, forced)
+    assert target in changed
+    # cone caching returns the same object
+    assert sim.cone_of(target) is sim.cone_of(target)
+    changed_pin = sim.propagate_pin(c17.index_of("16"), 1, forced)
+    assert isinstance(changed_pin, dict)

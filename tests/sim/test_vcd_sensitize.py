@@ -1,0 +1,100 @@
+"""VCD export and sensitized-line/path utilities."""
+
+import pytest
+
+from repro.circuit import LineTable, generators
+from repro.sim import PatternSet, SimFault, popcount, simulate
+from repro.sim.packing import bit_indices
+from repro.sim.sensitize import (sensitization_masks, sensitized_lines,
+                                 sensitized_path)
+from repro.sim.vcd import write_vcd
+from repro.errors import SimulationError
+
+
+def test_vcd_structure(tmp_path, c17):
+    patterns = PatternSet.exhaustive(5)
+    values = simulate(c17, patterns)
+    path = tmp_path / "c17.vcd"
+    write_vcd(path, c17, values, patterns.nbits, comment="test dump")
+    text = path.read_text()
+    assert "$enddefinitions" in text
+    assert "$var wire 1" in text
+    assert f"#{patterns.nbits}" in text
+    # 5 PIs + 2 POs declared
+    assert text.count("$var wire 1") == 7
+
+
+def test_vcd_signal_selection_and_errors(tmp_path, c17):
+    patterns = PatternSet.random(5, 64, seed=0)
+    values = simulate(c17, patterns)
+    path = tmp_path / "one.vcd"
+    write_vcd(path, c17, values, patterns.nbits, signals=["22", "16"])
+    assert path.read_text().count("$var wire 1") == 2
+    with pytest.raises(SimulationError):
+        write_vcd(path, c17, values, patterns.nbits, signals=[9999])
+
+
+def test_vcd_records_value_changes(tmp_path):
+    from repro.circuit import GateType, Netlist
+    nl = Netlist("toggle")
+    a = nl.add_input("a")
+    y = nl.add_gate("y", GateType.NOT, [a])
+    nl.set_outputs([y])
+    patterns = PatternSet.from_vectors([[0], [1], [1], [0]])
+    values = simulate(nl, patterns)
+    path = tmp_path / "t.vcd"
+    write_vcd(path, nl, values, 4)
+    text = path.read_text()
+    assert "#0" in text and "#1" in text and "#3" in text
+    assert "#2" not in text.split("$enddefinitions")[1]  # no change at 2
+
+
+def test_sensitized_lines_match_detection(c17):
+    table = LineTable(c17)
+    patterns = PatternSet.exhaustive(5)
+    values = simulate(c17, patterns)
+    fault = SimFault(table.stem(c17.index_of("11")).index, 0)
+    lines = sensitized_lines(c17, values, table, fault, patterns.nbits)
+    assert c17.index_of("11") in lines
+    # the fault reaches outputs, so at least one PO is sensitized
+    assert lines & set(c17.outputs)
+
+
+def test_sensitized_path_reaches_output(c17):
+    table = LineTable(c17)
+    patterns = PatternSet.exhaustive(5)
+    values = simulate(c17, patterns)
+    fault = SimFault(table.stem(c17.index_of("11")).index, 1)
+    masks = sensitization_masks(c17, values, table, fault,
+                                patterns.nbits)
+    po_mask = None
+    for po in c17.outputs:
+        if po in masks:
+            po_mask = masks[po]
+            break
+    assert po_mask is not None
+    vector = bit_indices(po_mask, patterns.nbits)[0]
+    path = sensitized_path(c17, values, table, fault, vector,
+                           patterns.nbits)
+    assert path
+    assert path[0] == c17.index_of("11")
+    assert path[-1] in c17.outputs
+
+
+def test_sensitized_path_empty_when_unobserved(c17):
+    table = LineTable(c17)
+    patterns = PatternSet.exhaustive(5)
+    values = simulate(c17, patterns)
+    fault = SimFault(table.stem(c17.index_of("11")).index, 1)
+    masks = sensitization_masks(c17, values, table, fault,
+                                patterns.nbits)
+    observed = set()
+    for po in c17.outputs:
+        if po in masks:
+            observed |= set(bit_indices(masks[po], patterns.nbits))
+    unobserved = [v for v in range(patterns.nbits) if v not in observed]
+    if not unobserved:
+        pytest.skip("fault observed on every vector")
+    path = sensitized_path(c17, values, table, fault, unobserved[0],
+                           patterns.nbits)
+    assert path == []

@@ -1,0 +1,38 @@
+"""Exception hierarchy and top-level API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (DiagnosisError, InjectionError, NetlistError,
+                          ParseError, ReproError, SimulationError)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (NetlistError, ParseError, SimulationError,
+                     InjectionError, DiagnosisError):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_parse_error_carries_line_number():
+    err = ParseError("bad token", line_no=42)
+    assert "line 42" in str(err)
+    assert err.line_no == 42
+    plain = ParseError("no location")
+    assert plain.line_no is None
+
+
+def test_one_except_catches_everything(c17):
+    from repro.circuit import bench_io
+    with pytest.raises(ReproError):
+        bench_io.loads("garbage ===")
+    with pytest.raises(ReproError):
+        c17.copy().gate("missing")
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

@@ -1,0 +1,96 @@
+"""Cross-cutting hypothesis property tests on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import LineTable, generators
+from repro.diagnose import DiagnosisState, IncrementalDiagnoser
+from repro.diagnose.config import DiagnosisConfig, Mode
+from repro.faults import inject_stuck_at_faults
+from repro.faults.models import (Correction, CorrectionKind,
+                                 apply_correction, corrected_line_words)
+from repro.sim import (PatternSet, output_rows, popcount, simulate)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 4_000), count=st.integers(1, 3))
+def test_injected_faults_reproduce_as_corrections(seed, count):
+    """Applying the ground-truth stuck-ats to the good netlist must
+    reproduce the faulty implementation's behaviour exactly."""
+    spec = generators.random_dag(5, 40, 3, seed=seed % 6)
+    workload = inject_stuck_at_faults(spec, count, seed=seed)
+    patterns = PatternSet.random(5, 192, seed=seed)
+    table = LineTable(spec)
+    modeled = spec.copy()
+    for record in workload.truth:
+        line = next(l for l in table if l.describe(spec) == record.site)
+        kind = (CorrectionKind.STUCK_AT_1 if record.kind == "sa1"
+                else CorrectionKind.STUCK_AT_0)
+        apply_correction(modeled, table, Correction(line.index, kind))
+    from repro.sim.compare import equivalent
+    impl_out = output_rows(workload.impl,
+                           simulate(workload.impl, patterns))
+    modeled_out = output_rows(modeled, simulate(modeled, patterns))
+    assert equivalent(impl_out, modeled_out, patterns.nbits)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 4_000))
+def test_corrected_line_words_is_sound(seed):
+    """Random circuit, random stuck-at/inverter correction: the
+    no-mutation prediction equals the post-application simulation."""
+    import random
+    rng = random.Random(seed)
+    circuit = generators.random_dag(5, 30, 3, seed=seed % 6)
+    table = LineTable(circuit)
+    patterns = PatternSet.random(5, 128, seed=seed)
+    values = simulate(circuit, patterns)
+    line = table[rng.randrange(len(table))]
+    kind = rng.choice([CorrectionKind.STUCK_AT_0,
+                       CorrectionKind.STUCK_AT_1,
+                       CorrectionKind.INSERT_INVERTER])
+    corr = Correction(line.index, kind)
+    predicted = corrected_line_words(circuit, table, corr, values)
+    mutated = circuit.copy()
+    apply_correction(mutated, table, corr)
+    new_values = simulate(mutated, patterns)
+    new_gate = len(circuit.gates)  # all three kinds add one gate
+    from repro.sim import tail_mask
+    mask = tail_mask(patterns.nbits)
+    assert (predicted[-1] & mask) == (new_values[new_gate][-1] & mask)
+    assert np.array_equal(predicted[:-1], new_values[new_gate][:-1])
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 2_000))
+def test_diagnosis_state_invariants(seed):
+    spec = generators.random_dag(5, 35, 3, seed=seed % 4)
+    workload = inject_stuck_at_faults(spec, 2, seed=seed)
+    patterns = PatternSet.random(5, 200, seed=seed + 1)
+    device_out = output_rows(workload.impl,
+                             simulate(workload.impl, patterns))
+    state = DiagnosisState(spec, patterns, device_out)
+    # masks partition V
+    assert state.num_err + state.num_corr == patterns.nbits
+    assert popcount(state.err_mask & state.corr_mask) == 0
+    # pair count is at least the vector count and at most vec * outputs
+    assert state.num_err_pairs >= state.num_err
+    assert state.num_err_pairs <= state.num_err * spec.num_outputs
+    assert 0.0 <= state.v_ratio <= 1.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1_000))
+def test_engine_solutions_always_rectify(seed):
+    """Whatever the engine returns, it is a valid correction set."""
+    spec = generators.random_dag(5, 35, 3, seed=seed % 4)
+    workload = inject_stuck_at_faults(spec, 2, seed=seed)
+    patterns = PatternSet.random(5, 256, seed=seed + 1)
+    config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                             max_errors=2, max_nodes=1500,
+                             time_budget=20.0)
+    result = IncrementalDiagnoser(workload.impl, spec, patterns,
+                                  config).run()
+    from repro.diagnose import rectifies
+    for solution in result.solutions:
+        assert rectifies(workload.impl, solution.netlist, patterns)

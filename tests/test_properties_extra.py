@@ -1,0 +1,101 @@
+"""Additional cross-cutting hypothesis properties."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import LineTable, bench_io, generators, validate
+from repro.circuit.miter import build_miter
+from repro.sim import (FaultSimulator, PatternSet, equivalent,
+                       output_rows, popcount, simulate)
+from repro.sim.sensitize import sensitization_masks
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), gates=st.integers(5, 60))
+def test_bench_roundtrip_random_circuits(seed, gates):
+    """Property: .bench serialization round-trips any generated DAG."""
+    circuit = generators.random_dag(5, gates, 3, seed=seed)
+    back = bench_io.loads(bench_io.dumps(circuit))
+    validate(back)
+    patterns = PatternSet.random(5, 192, seed=seed)
+    assert equivalent(output_rows(circuit, simulate(circuit, patterns)),
+                      output_rows(back, simulate(back, patterns)),
+                      patterns.nbits)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_verilog_roundtrip_random_circuits(seed):
+    from repro.circuit import verilog_io
+    circuit = generators.random_dag(5, 40, 3, seed=seed)
+    back = verilog_io.loads(verilog_io.dumps(circuit))
+    patterns = PatternSet.random(5, 192, seed=seed)
+    assert equivalent(output_rows(circuit, simulate(circuit, patterns)),
+                      output_rows(back, simulate(back, patterns)),
+                      patterns.nbits)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_miter_agrees_with_direct_comparison(seed):
+    """Property: miter output == OR of per-output differences."""
+    a = generators.random_dag(5, 30, 3, seed=seed % 9)
+    b = generators.random_dag(5, 30, 3, seed=(seed % 9) + 100)
+    miter = build_miter(a, b)
+    patterns = PatternSet.random(5, 128, seed=seed)
+    from repro.sim.compare import failing_vector_mask, masked
+    direct = failing_vector_mask(
+        output_rows(a, simulate(a, patterns)),
+        output_rows(b, simulate(b, patterns)), patterns.nbits)
+    miter_out = masked(output_rows(miter, simulate(miter, patterns)),
+                       patterns.nbits)
+    assert np.array_equal(miter_out[0], direct)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 3_000))
+def test_sensitization_equals_detection_at_outputs(seed):
+    """Property: a fault's PO sensitization masks OR together to its
+    fault-simulation detection mask."""
+    import random
+    circuit = generators.random_dag(5, 40, 4, seed=seed % 6)
+    table = LineTable(circuit)
+    patterns = PatternSet.random(5, 128, seed=seed)
+    fsim = FaultSimulator(circuit, patterns, table)
+    rng = random.Random(seed)
+    from repro.sim import SimFault
+    fault = SimFault(rng.randrange(len(table)), rng.randint(0, 1))
+    values = simulate(circuit, patterns)
+    masks = sensitization_masks(circuit, values, table, fault,
+                                patterns.nbits)
+    union = np.zeros(patterns.num_words, dtype=np.uint64)
+    for po in circuit.outputs:
+        if po in masks:
+            union |= masks[po]
+    assert np.array_equal(union, fsim.detection_mask(fault))
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 3_000), frames=st.integers(2, 6))
+def test_unroll_output_count_and_function(seed, frames):
+    """Property: unrolled model outputs match the cycle simulator."""
+    import random
+    from repro.circuit import SequentialSimulator
+    from repro.circuit.unroll import pack_sequences, unroll
+    from repro.sim.packing import unpack_bits
+
+    seq = generators.random_sequential(4, 30, 3, 3, seed=seed % 5)
+    model, umap = unroll(seq, frames)
+    rng = random.Random(seed)
+    names = [seq.gates[i].name for i in seq.inputs]
+    sequences = [[[rng.randint(0, 1) for _ in names]
+                  for _ in range(frames)] for _ in range(4)]
+    patterns = pack_sequences(seq, umap, sequences)
+    out = unpack_bits(output_rows(model, simulate(model, patterns)),
+                      patterns.nbits)
+    for v, stim in enumerate(sequences):
+        sim = SequentialSimulator(seq, initial_state=0)
+        for t, cycle in enumerate(stim):
+            ref = sim.step(dict(zip(names, cycle)))
+            for p, pos in enumerate(umap.po_positions[t]):
+                assert out[pos, v] == ref[p]

@@ -1,0 +1,94 @@
+"""PODEM test generation: generated tests must detect their faults."""
+
+import pytest
+
+from repro.circuit import GateType, LineTable, Netlist, generators
+from repro.errors import SimulationError
+from repro.faults.collapse import collapsed_faults
+from repro.sim import FaultSimulator, SimFault, all_faults
+from repro.tgen.podem import Podem, X, eval3, fill_assignment
+from repro.tgen.randgen import patterns_from_vectors
+
+
+def test_eval3_truth():
+    assert eval3(GateType.AND, [1, X]) == X
+    assert eval3(GateType.AND, [0, X]) == 0
+    assert eval3(GateType.OR, [1, X]) == 1
+    assert eval3(GateType.OR, [0, X]) == X
+    assert eval3(GateType.NOT, [X]) == X
+    assert eval3(GateType.NOT, [0]) == 1
+    assert eval3(GateType.XOR, [1, X]) == X
+    assert eval3(GateType.XOR, [1, 1]) == 0
+    assert eval3(GateType.NAND, [0, X]) == 1
+    assert eval3(GateType.NOR, [X, X]) == X
+    assert eval3(GateType.XNOR, [1, 0]) == 0
+    assert eval3(GateType.CONST0, []) == 0
+    assert eval3(GateType.CONST1, []) == 1
+
+
+@pytest.mark.parametrize("name", ["c17", "r432", "r499"])
+def test_generated_vectors_detect_their_faults(name):
+    circuit = generators.by_name(name, scale=0.25)
+    table = LineTable(circuit)
+    podem = Podem(circuit, table, backtrack_limit=200)
+    faults = collapsed_faults(circuit, table)
+    generated = aborted = untestable = 0
+    for fault in faults:
+        assignment, stats = podem.generate(fault)
+        if assignment is None:
+            if stats.aborted:
+                aborted += 1
+            else:
+                untestable += 1
+            continue
+        generated += 1
+        vector = fill_assignment(circuit, assignment)
+        patterns = patterns_from_vectors(circuit, [vector])
+        fsim = FaultSimulator(circuit, patterns, table)
+        assert fsim.detects(fault), \
+            f"{table.describe(fault.line)}/sa{fault.value}"
+    # PODEM should handle the vast majority of these faults
+    assert generated / len(faults) > 0.85, (generated, aborted,
+                                            untestable)
+
+
+def test_redundant_fault_is_untestable():
+    """a AND ~a == 0: the output sa0 is undetectable."""
+    nl = Netlist("red")
+    a = nl.add_input("a")
+    na = nl.add_gate("na", GateType.NOT, [a])
+    g = nl.add_gate("g", GateType.AND, [a, na])
+    out = nl.add_gate("out", GateType.OR, [g, a])
+    nl.set_outputs([out])
+    table = LineTable(nl)
+    podem = Podem(nl, table)
+    fault = SimFault(table.stem(g).index, 0)
+    assignment, stats = podem.generate(fault)
+    assert assignment is None
+    assert not stats.aborted  # proven untestable, not given up
+
+
+def test_sequential_netlist_rejected(s27):
+    with pytest.raises(SimulationError, match="combinational"):
+        Podem(s27)
+
+
+def test_fill_assignment_random_and_zero(c17):
+    import random
+    assignment = {c17.inputs[0]: 1}
+    zeros = fill_assignment(c17, assignment)
+    assert zeros[0] == 1 and sum(zeros[1:]) == 0
+    rng = random.Random(0)
+    filled = fill_assignment(c17, assignment, rng)
+    assert filled[0] == 1
+    assert len(filled) == 5
+
+
+def test_backtrack_limit_aborts():
+    """A hard reconvergent circuit with limit 0 must abort, not loop."""
+    circuit = generators.by_name("r499", scale=0.25)
+    table = LineTable(circuit)
+    podem = Podem(circuit, table, backtrack_limit=0)
+    hard = [f for f in all_faults(table)][50]
+    assignment, stats = podem.generate(hard)
+    assert assignment is None or stats.backtracks == 0

@@ -1,0 +1,58 @@
+"""Random generation, compaction and the combined vector flows."""
+
+from repro.circuit import LineTable, generators
+from repro.faults.collapse import collapsed_faults
+from repro.sim import FaultSimulator, PatternSet
+from repro.tgen import (coverage_driven_patterns, deterministic_patterns,
+                        diagnosis_vectors, patterns_from_vectors,
+                        random_patterns, reverse_order_compact)
+
+
+def test_random_patterns_shape(c17):
+    pats = random_patterns(c17, 100, seed=1)
+    assert pats.nbits == 100
+    assert pats.num_inputs == 5
+
+
+def test_patterns_from_vectors_empty(c17):
+    pats = patterns_from_vectors(c17, [])
+    assert pats.nbits == 0
+
+
+def test_coverage_driven_growth(c17):
+    table = LineTable(c17)
+    faults = collapsed_faults(c17, table)
+    pats = coverage_driven_patterns(c17, faults, seed=0, batch=32,
+                                    max_vectors=512)
+    assert 32 <= pats.nbits <= 512
+    fsim = FaultSimulator(c17, pats, table)
+    assert fsim.coverage(faults) > 0.9
+
+
+def test_reverse_order_compaction_preserves_coverage():
+    circuit = generators.by_name("r432", scale=0.25)
+    table = LineTable(circuit)
+    faults = collapsed_faults(circuit, table)
+    pats = PatternSet.random(circuit.num_inputs, 256, seed=2)
+    before = FaultSimulator(circuit, pats, table).coverage(faults)
+    compact = reverse_order_compact(circuit, pats, faults)
+    after = FaultSimulator(circuit, compact, table).coverage(faults)
+    assert compact.nbits < pats.nbits
+    assert after == before
+
+
+def test_deterministic_patterns_cover_most_faults(c17):
+    pats = deterministic_patterns(c17, seed=0)
+    table = LineTable(c17)
+    faults = collapsed_faults(c17, table)
+    assert pats.nbits > 0
+    coverage = FaultSimulator(c17, pats, table).coverage(faults)
+    assert coverage > 0.9
+
+
+def test_diagnosis_vectors_mixes_components(c17):
+    mixed = diagnosis_vectors(c17, num_random=128, seed=0)
+    rand_only = diagnosis_vectors(c17, num_random=128, seed=0,
+                                  deterministic=False)
+    assert rand_only.nbits == 128
+    assert mixed.nbits > 128
