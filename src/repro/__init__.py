@@ -26,6 +26,8 @@ Quick start::
 from .circuit import (GateType, Gate, Netlist, Line, LineKind, LineTable,
                       SequentialSimulator, bench_io, expand_xor,
                       full_scan, generators, optimize_area, validate)
+from .analyze import (Diagnostic, InvariantChecker, LintReport, Severity,
+                      lint_netlist, set_load_lint_policy)
 from .sim import (FaultSimulator, PatternSet, SimFault, Simulator,
                   all_faults, popcount, simulate, output_rows)
 from .faults import (Correction, CorrectionKind, ErrorType, StuckAtFault,
@@ -39,8 +41,9 @@ from .diagnose import (DiagnosisConfig, DiagnosisResult, DiagnosisState,
                        diagnose, dictionary_diagnosis,
                        exhaustive_multifault_diagnosis, matches_truth,
                        rectifies, theorem1_bound)
-from .errors import (DiagnosisError, InjectionError, NetlistError,
-                     ParseError, ReproError, SimulationError)
+from .errors import (DiagnosisError, InjectionError, InvariantViolation,
+                     NetlistError, ParseError, ReproError,
+                     SimulationError)
 
 __version__ = "1.0.0"
 
@@ -48,6 +51,8 @@ __all__ = [
     "GateType", "Gate", "Netlist", "Line", "LineKind", "LineTable",
     "SequentialSimulator", "bench_io", "expand_xor", "full_scan",
     "generators", "optimize_area", "validate",
+    "Diagnostic", "InvariantChecker", "LintReport", "Severity",
+    "lint_netlist", "set_load_lint_policy",
     "FaultSimulator", "PatternSet", "SimFault", "Simulator", "all_faults",
     "popcount", "simulate", "output_rows",
     "Correction", "CorrectionKind", "ErrorType", "StuckAtFault",
@@ -60,7 +65,7 @@ __all__ = [
     "IncrementalDiagnoser", "Mode", "Solution", "diagnose",
     "dictionary_diagnosis", "exhaustive_multifault_diagnosis",
     "matches_truth", "rectifies", "theorem1_bound",
-    "DiagnosisError", "InjectionError", "NetlistError", "ParseError",
-    "ReproError", "SimulationError",
+    "DiagnosisError", "InjectionError", "InvariantViolation",
+    "NetlistError", "ParseError", "ReproError", "SimulationError",
     "__version__",
 ]

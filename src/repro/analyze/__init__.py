@@ -1,0 +1,37 @@
+"""repro.analyze — rule-based netlist lint and diagnosis invariants.
+
+A static-analysis engine over :class:`~repro.circuit.netlist.Netlist`:
+
+* a :class:`RuleRegistry` of ~15 built-in rules in two groups —
+  *structural* (index/arity/name-map integrity, interface presence;
+  these supersede the old ``circuit/validate.py`` checks) and
+  *semantic* (combinational loops with the cycle printed, dead cones,
+  unobservable lines, constant feeds, foldable logic, inverter chains);
+* severity levels (error / warning / info) with per-rule suppression;
+* text and JSON reporters (:class:`LintReport`);
+* :class:`InvariantChecker`, a debug-mode guard over the engine's
+  ``Verr``/``Vcorr`` bit-lists and the Theorem 1 screen.
+
+Entry points: :func:`lint_netlist` (library), ``repro lint`` (CLI),
+:func:`lint_on_load` (automatic post-parse hook in ``bench_io`` /
+``verilog_io``, policy via :func:`set_load_lint_policy`).
+"""
+
+from .core import (AnalysisContext, DEFAULT_REGISTRY, Diagnostic, Rule,
+                   RuleRegistry, Severity)
+from .invariants import InvariantChecker
+from .lint import (GROUP_ORDER, LOAD_POLICIES, get_load_lint_policy,
+                   lint_netlist, lint_on_load, set_load_lint_policy)
+from .report import LintReport
+
+# Importing the rule modules registers the built-in rules.
+from . import rules_structural, rules_semantic  # noqa: E402,F401
+
+__all__ = [
+    "AnalysisContext", "DEFAULT_REGISTRY", "Diagnostic", "Rule",
+    "RuleRegistry", "Severity",
+    "InvariantChecker",
+    "GROUP_ORDER", "LOAD_POLICIES", "get_load_lint_policy",
+    "lint_netlist", "lint_on_load", "set_load_lint_policy",
+    "LintReport",
+]

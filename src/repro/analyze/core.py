@@ -1,0 +1,163 @@
+"""Core of the static-analysis engine: diagnostics, rules, registry.
+
+A *rule* is a named check over a :class:`~repro.circuit.netlist.Netlist`
+that yields :class:`Diagnostic` records.  Rules belong to a *group*
+(``structural`` or ``semantic``) and carry a default :class:`Severity`.
+The :class:`RuleRegistry` holds every known rule; the module-level
+:data:`DEFAULT_REGISTRY` is what the lint driver and the ``validate()``
+shim use.
+
+Structural rules check the invariants the rest of the library assumes
+(index/arity/name-map integrity); semantic rules reason about the logic
+(dead cones, combinational loops, unobservable lines) and are only run
+once the structure is sound, because their graph traversals would crash
+on out-of-range indices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from ..circuit.netlist import Netlist
+
+
+class Severity(enum.IntEnum):
+    """How bad a diagnostic is.  Ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule on one netlist.
+
+    Attributes:
+        rule: id of the rule that produced this finding.
+        severity: effective severity (usually the rule's default).
+        message: human-readable description, self-contained.
+        gate: name of the offending gate, when one exists.
+        data: extra machine-readable context (cycle path, pin, ...).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    gate: str | None = None
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form used by the JSON reporter."""
+        out = {"rule": self.rule, "severity": str(self.severity),
+               "message": self.message}
+        if self.gate is not None:
+            out["gate"] = self.gate
+        if self.data:
+            out["data"] = self.data
+        return out
+
+
+class AnalysisContext:
+    """Shared per-run scratch space handed to every rule.
+
+    Caches the graph views several rules need (fanouts, live set) so a
+    full lint pass stays a small constant number of netlist traversals.
+    All cached views are cycle-safe; rules must not call
+    :meth:`Netlist.topo_order` (it raises on combinational loops —
+    detecting those is a rule's job, not a crash).
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self._fanouts: list[list[int]] | None = None
+        self._live: set[int] | None = None
+
+    def fanouts(self) -> list[list[int]]:
+        if self._fanouts is None:
+            self._fanouts = self.netlist.fanouts()
+        return self._fanouts
+
+    def live(self) -> set[int]:
+        if self._live is None:
+            self._live = self.netlist.live_set()
+        return self._live
+
+
+#: Signature every rule check implements.
+CheckFn = Callable[[AnalysisContext], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check.
+
+    Attributes:
+        id: stable kebab-case identifier (used for suppression).
+        group: ``structural`` or ``semantic``.
+        severity: default severity of this rule's diagnostics.
+        description: one-line summary for ``repro lint --list-rules``.
+        check: the function producing diagnostics.
+    """
+
+    id: str
+    group: str
+    severity: Severity
+    description: str
+    check: CheckFn
+
+    def run(self, ctx: AnalysisContext) -> list[Diagnostic]:
+        return list(self.check(ctx))
+
+
+class RuleRegistry:
+    """Ordered collection of rules, addressable by id and by group."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def rule(self, rule_id: str, group: str, severity: Severity,
+             description: str) -> Callable[[CheckFn], CheckFn]:
+        """Decorator registering ``check`` as a rule."""
+        def wrap(check: CheckFn) -> CheckFn:
+            self.register(Rule(rule_id, group, severity, description,
+                               check))
+            return check
+        return wrap
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(f"unknown rule {rule_id!r}") from None
+
+    def group(self, group: str) -> list[Rule]:
+        return [r for r in self._rules.values() if r.group == group]
+
+    def ids(self) -> list[str]:
+        return list(self._rules)
+
+
+#: The registry the lint driver, CLI and ``validate()`` shim all use.
+#: Importing :mod:`repro.analyze` populates it with the built-in rules.
+DEFAULT_REGISTRY = RuleRegistry()

@@ -1,0 +1,101 @@
+"""Debug-mode invariants of the diagnosis engine's internal state.
+
+Section 2 of the paper partitions the simulated vector set V into the
+failing vectors (whose line values form the ``Verr`` bit-lists) and the
+passing vectors (``Vcorr``).  Every heuristic count and the Theorem 1
+screen silently assume that partition is *disjoint* and *complete* and
+that the screen's denominator N (errors still to find) is positive.
+An engine bug violating any of these does not crash — it produces wrong
+diagnoses.  :class:`InvariantChecker` turns such bugs into immediate
+:class:`InvariantViolation` errors.
+
+The checker is opt-in (``DiagnosisConfig(check_invariants=True)``); when
+disabled the engine carries a ``None`` and pays one ``if`` per node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvariantViolation
+from ..sim.packing import popcount, tail_mask
+
+
+class InvariantChecker:
+    """Asserts the Section 2 / Theorem 1 invariants on live engine state.
+
+    Attributes:
+        checks_run: total number of invariant checks performed, for
+            tests and overhead accounting.
+    """
+
+    def __init__(self) -> None:
+        self.checks_run = 0
+
+    # ------------------------------------------------------------------
+    def check_state(self, state) -> None:
+        """The ``Verr``/``Vcorr`` partition is disjoint and complete.
+
+        ``state`` is a :class:`~repro.diagnose.bitlists.DiagnosisState`;
+        typed loosely to keep this module import-light.
+        """
+        self.checks_run += 1
+        nbits = state.patterns.nbits
+        overlap = popcount(state.err_mask & state.corr_mask)
+        if overlap:
+            raise InvariantViolation(
+                f"Verr/Vcorr partition not disjoint: {overlap} vector(s) "
+                f"in both bit-lists")
+        full = np.full_like(state.err_mask,
+                            np.uint64(0xFFFFFFFFFFFFFFFF))
+        if len(full):
+            full[-1] = tail_mask(nbits)
+        union = state.err_mask | state.corr_mask
+        if popcount(union ^ full):
+            missing = nbits - popcount(union)
+            raise InvariantViolation(
+                f"Verr/Vcorr partition not complete: {missing} of "
+                f"{nbits} vector(s) in neither bit-list")
+        if state.num_err + state.num_corr != nbits:
+            raise InvariantViolation(
+                f"vector counts inconsistent: |Verr|={state.num_err} + "
+                f"|Vcorr|={state.num_corr} != |V|={nbits}")
+        if state.num_err != popcount(state.err_mask):
+            raise InvariantViolation(
+                f"cached |Verr|={state.num_err} disagrees with err_mask "
+                f"popcount {popcount(state.err_mask)}")
+
+    # ------------------------------------------------------------------
+    def check_theorem1(self, num_failing: int, num_errors: int) -> None:
+        """The ``|Verr|/N`` screen is only applied with N >= 1 and a
+        non-empty failing set (a rectified state must never be
+        screened — the engine checks ``rectified`` first)."""
+        self.checks_run += 1
+        if num_errors <= 0:
+            raise InvariantViolation(
+                f"Theorem 1 screen applied with N={num_errors}; the "
+                f"|Verr|/N bound is undefined for N=0")
+        if num_failing <= 0:
+            raise InvariantViolation(
+                "Theorem 1 screen applied to a rectified state "
+                "(|Verr|=0); the engine must stop at rectification")
+
+    # ------------------------------------------------------------------
+    def check_lines_live(self, state, line_indices) -> None:
+        """Decision-tree candidates only reference lines of the state's
+        own table whose drivers are live (or primary inputs)."""
+        self.checks_run += 1
+        table = state.table
+        netlist = state.netlist
+        allowed = netlist.live_set() | set(netlist.inputs)
+        for line_index in line_indices:
+            if not 0 <= line_index < len(table):
+                raise InvariantViolation(
+                    f"correction references line {line_index} outside "
+                    f"the state's table (0..{len(table) - 1})")
+            driver = table[line_index].driver
+            if driver not in allowed:
+                raise InvariantViolation(
+                    f"correction references line "
+                    f"{table.describe(line_index)} whose driver "
+                    f"{netlist.gates[driver].name!r} is detached")

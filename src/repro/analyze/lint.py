@@ -1,0 +1,126 @@
+"""The lint driver: run the rule registry over a netlist.
+
+Two layers:
+
+* :func:`lint_netlist` — the library API.  Runs structural rules first
+  and gates the semantic group on their outcome (semantic traversals
+  assume in-range indices).
+* :func:`lint_on_load` — the hook ``bench_io``/``verilog_io`` call
+  after parsing, governed by a process-wide *load policy*:
+
+  ========== =========================================================
+  ``off``     parse only, no lint.
+  ``errors``  (default) raise :class:`~repro.errors.ParseError` when
+              lint finds an ERROR; warnings are ignored.
+  ``warn``    as ``errors``, plus warnings printed to stderr.
+  ``strict``  raise on warnings too.
+  ========== =========================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable
+
+from ..circuit.netlist import Netlist
+from ..errors import ParseError
+from .core import (AnalysisContext, DEFAULT_REGISTRY, RuleRegistry,
+                   Severity)
+from .report import LintReport
+
+#: Rule-group execution order; later groups require earlier ones clean.
+GROUP_ORDER = ("structural", "semantic")
+
+LOAD_POLICIES = ("off", "errors", "warn", "strict")
+
+_load_policy = "errors"
+
+
+def get_load_lint_policy() -> str:
+    """Current process-wide lint-on-load policy."""
+    return _load_policy
+
+
+def set_load_lint_policy(policy: str) -> str:
+    """Set the lint-on-load policy; returns the previous one."""
+    global _load_policy
+    if policy not in LOAD_POLICIES:
+        raise ValueError(
+            f"unknown lint policy {policy!r}; pick one of "
+            f"{', '.join(LOAD_POLICIES)}")
+    previous = _load_policy
+    _load_policy = policy
+    return previous
+
+
+def lint_netlist(netlist: Netlist,
+                 registry: RuleRegistry | None = None,
+                 suppress: Iterable[str] = (),
+                 groups: Iterable[str] | None = None) -> LintReport:
+    """Run every (non-suppressed) rule and collect the findings.
+
+    Args:
+        netlist: the circuit to analyze.
+        registry: rule set (default: the built-in registry).
+        suppress: rule ids to skip; unknown ids raise ``KeyError`` so
+            typos don't silently disable nothing.
+        groups: restrict to these rule groups (default: all, in
+            :data:`GROUP_ORDER`).
+    """
+    registry = registry or DEFAULT_REGISTRY
+    suppressed = list(suppress)
+    for rule_id in suppressed:
+        registry.get(rule_id)  # raises KeyError on unknown ids
+    wanted = tuple(groups) if groups is not None else GROUP_ORDER
+    report = LintReport(netlist.name, suppressed=suppressed)
+    ctx = AnalysisContext(netlist)
+    for group in GROUP_ORDER:
+        if group not in wanted:
+            continue
+        if group != "structural" and any(
+                d.severity is Severity.ERROR for d in report.diagnostics):
+            report.skipped_groups.append(group)
+            continue
+        for rule in registry.group(group):
+            if rule.id in suppressed:
+                continue
+            report.diagnostics.extend(rule.run(ctx))
+    return report
+
+
+def lint_on_load(netlist: Netlist, policy: str | None = None,
+                 source: str | None = None) -> LintReport | None:
+    """Post-parse hook used by the file readers.
+
+    Returns the report (``None`` under the ``off`` policy).  Raises
+    :class:`ParseError` per the policy table above so reader callers
+    see one uniform exception type for "this file is unusable".
+    """
+    policy = policy if policy is not None else _load_policy
+    if policy not in LOAD_POLICIES:
+        raise ValueError(
+            f"unknown lint policy {policy!r}; pick one of "
+            f"{', '.join(LOAD_POLICIES)}")
+    if policy == "off":
+        return None
+    report = lint_netlist(netlist)
+    where = source or netlist.name
+    if report.errors:
+        first = report.errors[0]
+        extra = len(report.errors) - 1
+        raise ParseError(
+            f"{where}: lint failed: [{first.rule}] {first.message}"
+            + (f" (+{extra} more error(s))" if extra else ""))
+    if report.warnings:
+        if policy == "strict":
+            first = report.warnings[0]
+            extra = len(report.warnings) - 1
+            raise ParseError(
+                f"{where}: lint failed (strict): [{first.rule}] "
+                f"{first.message}"
+                + (f" (+{extra} more warning(s))" if extra else ""))
+        if policy == "warn":
+            for diag in report.warnings:
+                print(f"{where}: warning: [{diag.rule}] {diag.message}",
+                      file=sys.stderr)
+    return report

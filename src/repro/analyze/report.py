@@ -1,0 +1,93 @@
+"""Lint report container and the text / JSON reporters."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .core import Diagnostic, Severity
+
+
+@dataclass
+class LintReport:
+    """Everything one lint pass found on one netlist.
+
+    Attributes:
+        netlist_name: name of the analyzed netlist.
+        diagnostics: findings, in rule-registration order.
+        skipped_groups: rule groups not run (semantic rules are skipped
+            while structural errors are present).
+        suppressed: rule ids the caller suppressed for this run.
+    """
+
+    netlist_name: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    skipped_groups: list[str] = field(default_factory=list)
+    suppressed: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing at all was reported."""
+        return not self.diagnostics
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error* was reported (warnings/info allowed)."""
+        return not self.errors
+
+    def counts(self) -> dict:
+        out = {str(sev): 0 for sev in Severity}
+        for diag in self.diagnostics:
+            out[str(diag.severity)] += 1
+        return out
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CLI convention: 0 clean/info, 1 findings.
+
+        Errors always exit 1; warnings exit 1 only under ``strict``.
+        (Exit 2 is reserved by the CLI for unreadable/unparsable input.)
+        """
+        if self.errors or (strict and self.warnings):
+            return 1
+        return 0
+
+    # ------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Human-readable report, one line per finding plus a summary."""
+        lines = []
+        for diag in self.diagnostics:
+            lines.append(f"{self.netlist_name}: {diag.severity}: "
+                         f"[{diag.rule}] {diag.message}")
+        counts = self.counts()
+        summary = (f"{self.netlist_name}: {counts['error']} error(s), "
+                   f"{counts['warning']} warning(s), "
+                   f"{counts['info']} info")
+        if self.skipped_groups:
+            summary += (" (skipped " + ", ".join(self.skipped_groups)
+                        + " rules until structural errors are fixed)")
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "netlist": self.netlist_name,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "skipped_groups": list(self.skipped_groups),
+            "suppressed": list(self.suppressed),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

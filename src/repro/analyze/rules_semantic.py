@@ -1,0 +1,199 @@
+"""Semantic rules: the netlist is structurally sound but the logic is
+suspicious or breaks an assumption of the diagnosis algorithm.
+
+These run only after the structural group passes with no errors — their
+graph traversals require in-range indices.  None of them calls
+``topo_order()``; every traversal here is cycle-safe so that
+``comb-loop`` can *report* a loop instead of crashing on it.
+
+The observability rule is the one with direct diagnostic weight: the
+path-trace phase (§3.1) marks lines by walking back from erroneous
+primary outputs, so a line with no combinational path to any primary
+output can never be marked and therefore can never be diagnosed or
+corrected.  A netlist with such lines silently voids the algorithm's
+resolution guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..circuit.gatetypes import GateType, UNARY_TYPES
+from .core import AnalysisContext, DEFAULT_REGISTRY, Diagnostic, Severity
+
+_rule = DEFAULT_REGISTRY.rule
+
+_CONSTS = (GateType.CONST0, GateType.CONST1)
+
+
+def find_cycles(ctx: AnalysisContext) -> list[list[int]]:
+    """Combinational cycles, each as a gate-index path (first == last
+    omitted).  DFF fanin edges are sequential, not combinational, so
+    they never close a cycle.  Each gate appears in at most one
+    reported cycle, so a tangle of loops yields a readable handful of
+    reports rather than a combinatorial blow-up."""
+    netlist = ctx.netlist
+    n = len(netlist.gates)
+    state = bytearray(n)  # 0 unseen, 1 on current path, 2 done
+    cycles: list[list[int]] = []
+    reported: set[int] = set()
+    for root in range(n):
+        if state[root] == 2:
+            continue
+        path: list[int] = []
+        stack: list[tuple[int, int]] = [(root, 0)]
+        while stack:
+            node, child = stack[-1]
+            if state[node] == 2:
+                stack.pop()
+                continue
+            if child == 0:
+                state[node] = 1
+                path.append(node)
+            gate = netlist.gates[node]
+            fanin = () if gate.gtype is GateType.DFF else gate.fanin
+            if child < len(fanin):
+                stack[-1] = (node, child + 1)
+                nxt = fanin[child]
+                if state[nxt] == 1:
+                    cycle = path[path.index(nxt):]
+                    if not reported.issuperset(cycle):
+                        cycles.append(cycle)
+                        reported.update(cycle)
+                elif state[nxt] == 0:
+                    stack.append((nxt, 0))
+            else:
+                state[node] = 2
+                path.pop()
+                stack.pop()
+    return cycles
+
+
+@_rule("comb-loop", "semantic", Severity.ERROR,
+       "no combinational cycles (the offending cycle is printed)")
+def check_comb_loop(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    names = [g.name for g in ctx.netlist.gates]
+    for cycle in find_cycles(ctx):
+        pretty = " -> ".join(names[i] for i in cycle + cycle[:1])
+        yield Diagnostic(
+            "comb-loop", Severity.ERROR,
+            f"combinational cycle through gate {names[cycle[0]]!r}: "
+            f"{pretty}", gate=names[cycle[0]],
+            data={"cycle": [names[i] for i in cycle]})
+
+
+@_rule("fanout-free", "semantic", Severity.WARNING,
+       "internal lines drive at least one consumer or a primary output")
+def check_fanout_free(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    fanouts = ctx.fanouts()
+    pos = set(ctx.netlist.outputs)
+    for gate in ctx.netlist.gates:
+        if gate.gtype is GateType.INPUT:
+            continue  # unused PIs are an interface choice, not a bug
+        if not fanouts[gate.index] and gate.index not in pos:
+            yield Diagnostic(
+                "fanout-free", Severity.WARNING,
+                f"gate {gate.name!r} drives no consumer and no primary "
+                f"output", gate=gate.name, data={"index": gate.index})
+
+
+@_rule("dead-gate", "semantic", Severity.WARNING,
+       "every gate is reachable from some primary output (live)")
+def check_dead_gates(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    live = ctx.live()
+    fanouts = ctx.fanouts()
+    pos = set(ctx.netlist.outputs)
+    for gate in ctx.netlist.gates:
+        if gate.index in live or gate.gtype is GateType.INPUT:
+            continue
+        if not fanouts[gate.index] and gate.index not in pos:
+            continue  # already reported by fanout-free
+        yield Diagnostic(
+            "dead-gate", Severity.WARNING,
+            f"gate {gate.name!r} is dead: no primary output depends on "
+            f"it", gate=gate.name, data={"index": gate.index})
+
+
+def observable_set(ctx: AnalysisContext) -> set[int]:
+    """Gates whose output has a *combinational* path to a primary
+    output.  Walks fanin edges back from the POs without expanding DFF
+    fanins (a DFF breaks the combinational path)."""
+    netlist = ctx.netlist
+    obs: set[int] = set()
+    stack = [o for o in netlist.outputs]
+    while stack:
+        node = stack.pop()
+        if node in obs:
+            continue
+        obs.add(node)
+        gate = netlist.gates[node]
+        if gate.gtype is not GateType.DFF:
+            stack.extend(gate.fanin)
+    return obs
+
+
+@_rule("unobservable-line", "semantic", Severity.WARNING,
+       "every live line has a combinational path to a primary output "
+       "(else path-trace can never mark it)")
+def check_unobservable(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    live = ctx.live()
+    obs = observable_set(ctx)
+    for gate in ctx.netlist.gates:
+        if gate.index not in live or gate.index in obs:
+            continue
+        yield Diagnostic(
+            "unobservable-line", Severity.WARNING,
+            f"line {gate.name!r} is live but has no combinational path "
+            f"to any primary output; path-trace can never mark it and "
+            f"no correction there is diagnosable", gate=gate.name,
+            data={"index": gate.index})
+
+
+@_rule("const-feed", "semantic", Severity.WARNING,
+       "logic gates are not fed by constants (foldable logic distorts "
+       "diagnosis resolution)")
+def check_const_feed(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    netlist = ctx.netlist
+    for gate in netlist.gates:
+        const_pins = [pin for pin, src in enumerate(gate.fanin)
+                      if netlist.gates[src].gtype in _CONSTS]
+        if const_pins and gate.gtype is not GateType.DFF:
+            yield Diagnostic(
+                "const-feed", Severity.WARNING,
+                f"gate {gate.name!r} ({gate.gtype.name}) has constant "
+                f"fanin on pin(s) {const_pins}; the gate is foldable",
+                gate=gate.name, data={"pins": const_pins})
+
+
+@_rule("foldable-logic", "semantic", Severity.INFO,
+       "multi-input gates do not repeat a fanin signal (x op x folds)")
+def check_foldable(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for gate in ctx.netlist.gates:
+        if len(gate.fanin) < 2:
+            continue
+        dupes = sorted({src for src in gate.fanin
+                        if gate.fanin.count(src) > 1})
+        if dupes:
+            names = [ctx.netlist.gates[s].name for s in dupes]
+            yield Diagnostic(
+                "foldable-logic", Severity.INFO,
+                f"gate {gate.name!r} ({gate.gtype.name}) uses signal(s) "
+                f"{names} on multiple pins; the logic folds",
+                gate=gate.name, data={"signals": names})
+
+
+@_rule("inverter-chain", "semantic", Severity.INFO,
+       "no NOT/BUF fed directly by another NOT/BUF (collapsible chain)")
+def check_inverter_chain(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    unary = UNARY_TYPES - {GateType.DFF}
+    netlist = ctx.netlist
+    for gate in netlist.gates:
+        if gate.gtype not in unary or not gate.fanin:
+            continue
+        src = netlist.gates[gate.fanin[0]]
+        if src.gtype in unary:
+            yield Diagnostic(
+                "inverter-chain", Severity.INFO,
+                f"gate {gate.name!r} ({gate.gtype.name}) is fed by "
+                f"{src.name!r} ({src.gtype.name}); the chain collapses",
+                gate=gate.name, data={"feeder": src.name})

@@ -1,0 +1,128 @@
+"""Structural rules: the invariants every other module assumes.
+
+These absorb (and supersede) the original ``circuit/validate.py``
+checks: index integrity, duplicate names, name-map consistency, arity,
+fanin/output index range, and interface presence.  Their messages keep
+the exact phrasing the old validator used so existing callers matching
+on substrings keep working.
+
+Every rule here is ERROR severity: a netlist failing any of them will
+crash or silently mis-simulate elsewhere in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..circuit.gatetypes import GateType, arity_ok
+from .core import AnalysisContext, DEFAULT_REGISTRY, Diagnostic, Severity
+
+_rule = DEFAULT_REGISTRY.rule
+
+
+@_rule("index-integrity", "structural", Severity.ERROR,
+       "every gate's index field equals its position in Netlist.gates")
+def check_index_integrity(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for pos, gate in enumerate(ctx.netlist.gates):
+        if gate.index != pos:
+            yield Diagnostic(
+                "index-integrity", Severity.ERROR,
+                f"gate {gate.name!r}: index field {gate.index} != "
+                f"position {pos}", gate=gate.name,
+                data={"position": pos, "index": gate.index})
+
+
+@_rule("duplicate-name", "structural", Severity.ERROR,
+       "gate names are unique (each duplicated name reported once)")
+def check_duplicate_names(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    positions: dict[str, list[int]] = {}
+    for pos, gate in enumerate(ctx.netlist.gates):
+        positions.setdefault(gate.name, []).append(pos)
+    for name, occ in positions.items():
+        if len(occ) > 1:
+            yield Diagnostic(
+                "duplicate-name", Severity.ERROR,
+                f"duplicate gate name {name!r} "
+                f"({len(occ)} gates: indices {occ})",
+                gate=name, data={"indices": occ})
+
+
+@_rule("name-map", "structural", Severity.ERROR,
+       "the name->index map agrees with the gate list")
+def check_name_map(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    netlist = ctx.netlist
+    n = len(netlist.gates)
+    for name, idx in netlist._name2idx.items():
+        if not 0 <= idx < n:
+            yield Diagnostic(
+                "name-map", Severity.ERROR,
+                f"name map entry {name!r} -> {idx} is out of range",
+                gate=name, data={"index": idx})
+        elif netlist.gates[idx].name != name:
+            yield Diagnostic(
+                "name-map", Severity.ERROR,
+                f"name map entry {name!r} -> {idx} but gate {idx} is "
+                f"named {netlist.gates[idx].name!r}",
+                gate=name, data={"index": idx})
+    mapped = set(netlist._name2idx)
+    for gate in netlist.gates:
+        if gate.name not in mapped:
+            yield Diagnostic(
+                "name-map", Severity.ERROR,
+                f"gate {gate.name!r} missing from the name map",
+                gate=gate.name, data={"index": gate.index})
+
+
+@_rule("arity", "structural", Severity.ERROR,
+       "every gate has a legal fanin count for its type")
+def check_arity(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    for gate in ctx.netlist.gates:
+        if not arity_ok(gate.gtype, len(gate.fanin)):
+            yield Diagnostic(
+                "arity", Severity.ERROR,
+                f"gate {gate.name!r}: {gate.gtype.name} with "
+                f"{len(gate.fanin)} fanin(s)", gate=gate.name,
+                data={"gtype": gate.gtype.name,
+                      "fanin_count": len(gate.fanin)})
+
+
+@_rule("fanin-range", "structural", Severity.ERROR,
+       "every fanin pin references an existing gate")
+def check_fanin_range(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    n = len(ctx.netlist.gates)
+    for gate in ctx.netlist.gates:
+        for pin, src in enumerate(gate.fanin):
+            if not 0 <= src < n:
+                yield Diagnostic(
+                    "fanin-range", Severity.ERROR,
+                    f"gate {gate.name!r}: pin {pin} references missing "
+                    f"gate {src}", gate=gate.name,
+                    data={"pin": pin, "src": src})
+
+
+@_rule("output-range", "structural", Severity.ERROR,
+       "every primary output references an existing gate")
+def check_output_range(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    n = len(ctx.netlist.gates)
+    for slot, out in enumerate(ctx.netlist.outputs):
+        if not 0 <= out < n:
+            yield Diagnostic(
+                "output-range", Severity.ERROR,
+                f"output references missing gate {out}",
+                data={"slot": slot, "index": out})
+
+
+@_rule("no-outputs", "structural", Severity.ERROR,
+       "the netlist declares at least one primary output")
+def check_has_outputs(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.netlist.outputs:
+        yield Diagnostic("no-outputs", Severity.ERROR,
+                         "netlist has no primary outputs")
+
+
+@_rule("no-inputs", "structural", Severity.ERROR,
+       "the netlist declares at least one primary input")
+def check_has_inputs(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not any(g.gtype is GateType.INPUT for g in ctx.netlist.gates):
+        yield Diagnostic("no-inputs", Severity.ERROR,
+                         "netlist has no primary inputs")

@@ -4,7 +4,7 @@ sequential support and transformations."""
 from .gatetypes import GateType, controlling_value, eval_scalar, eval_words
 from .netlist import Gate, Netlist
 from .lines import Line, LineKind, LineTable
-from .validate import issues, validate
+from .validate import issues, report, validate
 from . import bench_io, generators, verilog_io
 from .sequential import ScanMap, SequentialSimulator, full_scan
 from .transform import expand_xor, optimize_area
@@ -14,7 +14,8 @@ from .unroll import UnrollMap, pack_sequences, unroll
 __all__ = [
     "GateType", "controlling_value", "eval_scalar", "eval_words",
     "Gate", "Netlist", "Line", "LineKind", "LineTable",
-    "issues", "validate", "bench_io", "generators", "verilog_io",
+    "issues", "report", "validate", "bench_io", "generators",
+    "verilog_io",
     "ScanMap", "SequentialSimulator", "full_scan",
     "expand_xor", "optimize_area",
     "build_miter", "UnrollMap", "pack_sequences", "unroll",

@@ -60,8 +60,15 @@ _OP_NAMES = {
 }
 
 
-def loads(text: str, name: str = "bench") -> Netlist:
-    """Parse ``.bench`` source text into a :class:`Netlist`."""
+def loads(text: str, name: str = "bench",
+          lint: str | None = None) -> Netlist:
+    """Parse ``.bench`` source text into a :class:`Netlist`.
+
+    After parsing, the netlist is linted per ``lint`` (an
+    :mod:`repro.analyze` load policy: ``off``/``errors``/``warn``/
+    ``strict``; default ``None`` uses the process-wide policy, normally
+    ``errors``).  A policy violation raises :class:`ParseError`.
+    """
     inputs: list[str] = []
     outputs: list[str] = []
     defs: dict[str, tuple[GateType, list[str], int]] = {}
@@ -137,13 +144,16 @@ def loads(text: str, name: str = "bench") -> Netlist:
     if missing:
         raise ParseError(f"output {missing[0]!r} never defined")
     netlist.set_outputs(resolved[po] for po in outputs)
+    # Imported lazily: repro.analyze itself imports circuit modules.
+    from ..analyze import lint_on_load
+    lint_on_load(netlist, policy=lint, source=name)
     return netlist
 
 
-def load(path, name: str | None = None) -> Netlist:
-    """Read a ``.bench`` file from ``path``."""
+def load(path, name: str | None = None, lint: str | None = None) -> Netlist:
+    """Read a ``.bench`` file from ``path`` (linting per ``lint``)."""
     path = Path(path)
-    return loads(path.read_text(), name or path.stem)
+    return loads(path.read_text(), name or path.stem, lint=lint)
 
 
 def dumps(netlist: Netlist) -> str:

@@ -52,7 +52,6 @@ def unroll(netlist: Netlist, frames: int, initial_state: int = 0,
         raise NetlistError("need at least one time frame")
     out = Netlist(name or f"{netlist.name}_x{frames}")
     umap = UnrollMap(frames)
-    dffs = set(netlist.dffs())
     const_cache: dict = {}
 
     def constant(value: int) -> int:

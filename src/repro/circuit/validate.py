@@ -1,55 +1,42 @@
-"""Structural sanity checks for netlists.
+"""Structural sanity checks for netlists (back-compat shim).
 
+The checks themselves now live in :mod:`repro.analyze` as registered
+lint rules; this module keeps the historical two-call API alive:
 ``validate(netlist)`` raises :class:`~repro.errors.NetlistError` with a
-descriptive message on the first problem found; ``issues(netlist)`` returns
-the full list without raising.  The checks cover everything the rest of
-the library assumes: index integrity, arity, name-map consistency,
-acyclicity and output validity.
+descriptive message on the first problem found; ``issues(netlist)``
+returns the full list of error-severity problems without raising.
+
+Both report *errors only* (the strict invariants the rest of the
+library assumes: index/arity/name-map integrity, acyclicity, interface
+and output validity) — exactly the old contract.  For warnings (dead
+cones, unobservable lines, foldable logic...) use
+:func:`repro.analyze.lint_netlist` or the ``repro lint`` CLI.
 """
 
 from __future__ import annotations
 
 from ..errors import NetlistError
-from .gatetypes import GateType, arity_ok
 from .netlist import Netlist
 
 
+def report(netlist: Netlist):
+    """Full :class:`~repro.analyze.LintReport` for ``netlist``.
+
+    Convenience bridge for callers that start from the old API and want
+    the complete rule output (warnings and info included).
+    """
+    from ..analyze import lint_netlist
+    return lint_netlist(netlist)
+
+
 def issues(netlist: Netlist) -> list[str]:
-    """Return a list of human-readable structural problems (empty = OK)."""
-    problems: list[str] = []
-    n = len(netlist.gates)
-    seen_names: dict[str, int] = {}
-    for pos, gate in enumerate(netlist.gates):
-        if gate.index != pos:
-            problems.append(
-                f"gate {gate.name!r}: index field {gate.index} != "
-                f"position {pos}")
-        if gate.name in seen_names:
-            problems.append(f"duplicate gate name {gate.name!r}")
-        seen_names[gate.name] = pos
-        if not arity_ok(gate.gtype, len(gate.fanin)):
-            problems.append(
-                f"gate {gate.name!r}: {gate.gtype.name} with "
-                f"{len(gate.fanin)} fanin(s)")
-        for pin, src in enumerate(gate.fanin):
-            if not 0 <= src < n:
-                problems.append(
-                    f"gate {gate.name!r}: pin {pin} references missing "
-                    f"gate {src}")
-    for out in netlist.outputs:
-        if not 0 <= out < n:
-            problems.append(f"output references missing gate {out}")
-    if not netlist.outputs:
-        problems.append("netlist has no primary outputs")
-    if not any(g.gtype is GateType.INPUT for g in netlist.gates):
-        problems.append("netlist has no primary inputs")
-    if not problems:
-        # Only meaningful once indices are in range.
-        try:
-            netlist.topo_order()
-        except NetlistError as exc:
-            problems.append(str(exc))
-    return problems
+    """Return a list of human-readable structural problems (empty = OK).
+
+    Error-severity lint findings only, in rule order.  Unlike the
+    pre-lint implementation, a name duplicated K times is reported once
+    (naming all K occurrences) instead of K-1 times.
+    """
+    return [diag.message for diag in report(netlist).errors]
 
 
 def validate(netlist: Netlist) -> None:

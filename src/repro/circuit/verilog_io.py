@@ -43,8 +43,15 @@ _ASSIGN_RE = re.compile(
     r"assign\s+(?P<lhs>\w+)\s*=\s*(?P<rhs>1'b[01]|\w+)\s*;")
 
 
-def loads(text: str, name: str | None = None) -> Netlist:
-    """Parse structural Verilog text into a :class:`Netlist`."""
+def loads(text: str, name: str | None = None,
+          lint: str | None = None) -> Netlist:
+    """Parse structural Verilog text into a :class:`Netlist`.
+
+    After parsing, the netlist is linted per ``lint`` (an
+    :mod:`repro.analyze` load policy: ``off``/``errors``/``warn``/
+    ``strict``; default ``None`` uses the process-wide policy, normally
+    ``errors``).  A policy violation raises :class:`ParseError`.
+    """
     text = re.sub(r"//[^\n]*", "", text)
     text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
     module = _MODULE_RE.search(text)
@@ -106,12 +113,15 @@ def loads(text: str, name: str | None = None) -> Netlist:
     if missing:
         raise ParseError(f"output {missing[0]!r} never driven")
     netlist.set_outputs(resolved[po] for po in outputs)
+    # Imported lazily: repro.analyze itself imports circuit modules.
+    from ..analyze import lint_on_load
+    lint_on_load(netlist, policy=lint, source=name)
     return netlist
 
 
-def load(path, name: str | None = None) -> Netlist:
+def load(path, name: str | None = None, lint: str | None = None) -> Netlist:
     path = Path(path)
-    return loads(path.read_text(), name or path.stem)
+    return loads(path.read_text(), name or path.stem, lint=lint)
 
 
 def dumps(netlist: Netlist) -> str:

@@ -6,6 +6,7 @@ Subcommands::
     repro table2 [--scale S] [--trials N] ...
     repro ablation [--errors K] ...
     repro diagnose SPEC.bench IMPL.bench [--mode stuck-at|design-error]
+    repro lint FILE [FILE...] [--format json] [--strict] [--suppress r1,r2]
     repro inject SPEC.bench OUT.bench (--faults K | --errors K) [--seed N]
     repro compare [--faults 1,2]     # engine vs SAT vs dictionary
     repro convert IN.bench OUT.v     # netlist format conversion
@@ -18,8 +19,11 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
+from .analyze import DEFAULT_REGISTRY, lint_netlist
 from .bench import (format_ablation, format_compare, format_table1,
                     format_table2, run_ablation, run_compare,
                     run_table1, run_table2)
@@ -112,7 +116,8 @@ def cmd_diagnose(args) -> int:
     patterns = random_patterns(impl, args.vectors, args.seed)
     config = DiagnosisConfig(mode=mode, exact=(mode is Mode.STUCK_AT),
                              max_errors=args.max_errors,
-                             time_budget=args.time_budget)
+                             time_budget=args.time_budget,
+                             check_invariants=args.check_invariants)
     if mode is Mode.STUCK_AT:
         # Fault-model the good netlist against the faulty device.
         engine = IncrementalDiagnoser(impl, spec, patterns, config)
@@ -123,11 +128,47 @@ def cmd_diagnose(args) -> int:
     return 0 if result.found else 1
 
 
-def _load_any(path):
+def _load_any(path, lint=None):
     """Load a netlist by extension (.bench or .v)."""
     if str(path).endswith(".v"):
-        return verilog_io.load(path)
-    return bench_io.load(path)
+        return verilog_io.load(path, lint=lint)
+    return bench_io.load(path, lint=lint)
+
+
+def cmd_lint(args) -> int:
+    """Static-analysis lint.  Exit codes: 0 clean (or info-only),
+    1 errors found (warnings too under --strict), 2 unreadable input."""
+    from .errors import ReproError
+
+    if args.list_rules:
+        for rule in DEFAULT_REGISTRY:
+            print(f"{rule.id:<20}{rule.group:<12}"
+                  f"{str(rule.severity):<9}{rule.description}")
+        return 0
+    if not args.files:
+        sys.exit("repro lint: no input files (see --list-rules)")
+    suppress = [s.strip() for s in args.suppress.split(",") if s.strip()]
+    worst = 0
+    json_reports = []
+    for path in args.files:
+        try:
+            netlist = _load_any(path, lint="off")
+        except (ReproError, OSError) as exc:
+            print(f"{path}: error: {exc}", file=sys.stderr)
+            worst = max(worst, 2)
+            continue
+        try:
+            report = lint_netlist(netlist, suppress=suppress)
+        except KeyError as exc:
+            sys.exit(f"repro lint: {exc.args[0]}")
+        if args.format == "json":
+            json_reports.append(report.to_dict())
+        else:
+            print(report.to_text())
+        worst = max(worst, report.exit_code(strict=args.strict))
+    if args.format == "json":
+        print(json.dumps(json_reports, indent=2))
+    return worst
 
 
 def cmd_convert(args) -> int:
@@ -223,7 +264,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-errors", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--time-budget", type=float, default=120.0)
+    p.add_argument("--check-invariants", action="store_true",
+                   help="assert Verr/Vcorr + Theorem 1 invariants at "
+                        "every tree node (debug mode)")
     p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("lint",
+                       help="rule-based static analysis of a netlist")
+    p.add_argument("files", nargs="*",
+                   help=".bench or .v netlist files")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings too")
+    p.add_argument("--suppress", default="",
+                   help="comma-separated rule ids to skip")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule table and exit")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("convert",
                        help="convert between .bench and .v")
@@ -253,7 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; silence
+        # the shutdown flush too, and exit like a SIGPIPE'd process.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -100,6 +100,11 @@ class DiagnosisConfig:
         h3_exact: heuristic-3 threshold in exact mode (0 disables the
             screen so no valid tuple is ever pruned by it).
         schedule: optional explicit relaxation ladder override.
+        check_invariants: debug mode — assert the Section 2
+            ``Verr``/``Vcorr`` partition, the Theorem 1 preconditions
+            and live-line referencing at every tree node (see
+            :class:`repro.analyze.InvariantChecker`).  Off by default;
+            when off the engine pays one ``if`` per node.
         seed: randomness (path-trace vector sampling, wire sources).
     """
 
@@ -117,6 +122,7 @@ class DiagnosisConfig:
     schedule: list = field(default_factory=list)
     traversal: str = "rounds"   # "rounds" (paper) | "dfs" | "bfs"
     time_budget: float | None = None  # wall-clock seconds for one run()
+    check_invariants: bool = False
     seed: int = 0
 
     def ladder(self, num_errors: int) -> list[HLevel]:

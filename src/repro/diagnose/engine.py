@@ -33,6 +33,7 @@ import time
 
 import numpy as np
 
+from ..analyze.invariants import InvariantChecker
 from ..circuit.netlist import Netlist
 from ..errors import DiagnosisError
 from ..faults.models import CorrectionKind, apply_correction
@@ -72,6 +73,10 @@ class IncrementalDiagnoser:
         self.config = config or DiagnosisConfig()
         self.spec_out = output_rows(spec, simulate(spec, patterns))
         self.root_state = DiagnosisState(impl, patterns, self.spec_out)
+        self.invariants = (InvariantChecker()
+                           if self.config.check_invariants else None)
+        if self.invariants:
+            self.invariants.check_state(self.root_state)
 
     # ------------------------------------------------------------------
     def run(self) -> DiagnosisResult:
@@ -177,6 +182,9 @@ class IncrementalDiagnoser:
                                        config.seed)
             lines = marked_lines(counts)
             stats.diag_time += time.perf_counter() - t0
+            if self.invariants:
+                self.invariants.check_theorem1(state.num_err, remaining)
+                self.invariants.check_lines_live(state, lines)
             bound = theorem1_bound(state.num_err, remaining)
             bound = max(1, int(math.ceil(bound * config.theorem1_safety)))
             t1 = time.perf_counter()
@@ -222,6 +230,8 @@ class IncrementalDiagnoser:
                 t2 = time.perf_counter()
                 child_state = self._fast_stuck_at_child(state, corr)
                 stats.apply_time += time.perf_counter() - t2
+                if self.invariants:
+                    self.invariants.check_state(child_state)
                 stats.nodes += 1
                 record = CorrectionRecord(
                     signature, corr.kind.value,

@@ -78,8 +78,6 @@ class SatDiagnoser:
 
     # ------------------------------------------------------------------
     def _pick_vectors(self, cap: int) -> list[int]:
-        import numpy as np
-
         from ..sim.compare import failing_vector_mask
 
         fail = failing_vector_mask(self.device_out, self.good_out,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from ..analyze.invariants import InvariantChecker
 from ..faults.models import apply_correction
 from .bitlists import DiagnosisState
 from .candidates import corrections_for_line, is_correctable_line
@@ -70,6 +71,8 @@ class DecisionTree:
         self.open_nodes: list[Node] = [self.root]
         self.solutions: list[Solution] = []
         self._seen_sets: set = set()
+        self.invariants = (InvariantChecker()
+                           if config.check_invariants else None)
 
     # ------------------------------------------------------------------
     # per-node candidate computation (the "diagnosis" + "correction"
@@ -87,6 +90,8 @@ class DecisionTree:
                            in top_fraction(counts, self.candidate_fraction)
                            if is_correctable_line(state, line)]
         potentials = rank_lines(state, candidate_lines, self.h.h1)
+        if self.invariants:
+            self.invariants.check_lines_live(state, candidate_lines)
         t1 = time.perf_counter()
         self.stats.diag_time += t1 - t0
         required = max(1, int(self.h.h2 * state.num_err))
@@ -116,6 +121,8 @@ class DecisionTree:
         apply_correction(child_netlist, state.table, sc.correction)
         child_state = DiagnosisState(child_netlist, state.patterns,
                                      state.spec_out)
+        if self.invariants:
+            self.invariants.check_state(child_state)
         self.stats.apply_time += time.perf_counter() - t0
         self.stats.nodes += 1
         return Node(child_state, node.depth + 1,
@@ -163,7 +170,6 @@ class DecisionTree:
 
     def _run_dfs(self, stop_at_first: bool) -> list[Solution]:
         """Greedy depth-first: always deepen the newest open node."""
-        config = self.config
         while self.open_nodes:
             if self._out_of_budget():
                 break
@@ -183,7 +189,6 @@ class DecisionTree:
 
     def _run_bfs(self, stop_at_first: bool) -> list[Solution]:
         """Naive breadth-first: exhaust every node level by level."""
-        config = self.config
         frontier = [self.root]
         for level in range(self.target):
             next_frontier: list[Node] = []

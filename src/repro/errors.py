@@ -35,3 +35,8 @@ class InjectionError(ReproError):
 
 class DiagnosisError(ReproError):
     """The diagnosis engine was configured or driven inconsistently."""
+
+
+class InvariantViolation(DiagnosisError):
+    """A debug-mode diagnosis invariant failed (Verr/Vcorr partition,
+    Theorem 1 preconditions, or a correction referencing a dead line)."""

@@ -199,7 +199,6 @@ class BridgingDiagnoser:
         self.corr_mask = self.err_mask ^ full
 
     def _anchors(self) -> list[int]:
-        from ..circuit.lines import LineTable
         from ..diagnose.bitlists import DiagnosisState
         from ..diagnose.pathtrace import marked_lines, path_trace_counts
 

@@ -8,8 +8,6 @@ deterministic sets the paper cites (DESIGN.md §4 substitution 2).
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..circuit.netlist import Netlist
 from ..sim.faultsim import FaultSimulator, SimFault
 from ..sim.packing import PatternSet, pack_bits, unpack_bits

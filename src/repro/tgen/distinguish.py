@@ -107,14 +107,12 @@ def refine_diagnosis(device: Netlist, solutions, patterns: PatternSet,
     extra_vectors: list[list] = []
     for _ in range(max_new_vectors):
         vector = None
-        pair = None
         for i in range(len(survivors)):
             for j in range(i + 1, len(survivors)):
                 vector = distinguishing_vector(
                     survivors[i].netlist, survivors[j].netlist,
                     backtrack_limit, seed)
                 if vector is not None:
-                    pair = (i, j)
                     break
             if vector is not None:
                 break

@@ -1,0 +1,105 @@
+"""Lint driver API: reporters, load policies, registry, validate shim."""
+
+import json
+
+import pytest
+
+from repro.analyze import (DEFAULT_REGISTRY, Severity, lint_netlist,
+                           get_load_lint_policy, lint_on_load,
+                           set_load_lint_policy)
+from repro.circuit import GateType, Netlist, issues, validate
+from repro.circuit.validate import report as validate_report
+from repro.errors import NetlistError, ParseError
+
+
+def dirty():
+    nl = Netlist("dirty")
+    a = nl.add_input("a")
+    n1 = nl.add_gate("n1", GateType.NOT, [a])
+    n2 = nl.add_gate("n2", GateType.NOT, [n1])
+    nl.set_outputs([n2])
+    nl.add_gate("dead", GateType.NOT, [a])
+    return nl
+
+
+def broken():
+    nl = Netlist("broken")
+    a = nl.add_input("a")
+    g = nl.add_gate("g", GateType.NOT, [a])
+    nl.set_outputs([g])
+    nl.gates[g].fanin = [42]
+    return nl
+
+
+def test_registry_has_both_groups():
+    groups = {rule.group for rule in DEFAULT_REGISTRY}
+    assert groups == {"structural", "semantic"}
+    assert len(DEFAULT_REGISTRY) >= 12
+
+
+def test_text_report_mentions_rule_and_severity():
+    text = lint_netlist(dirty()).to_text()
+    assert "[dead-gate]" in text or "[fanout-free]" in text
+    assert "warning" in text
+
+
+def test_json_report_round_trips():
+    data = json.loads(lint_netlist(dirty()).to_json())
+    assert data["netlist"] == "dirty"
+    assert data["counts"]["error"] == 0
+    assert any(d["rule"] == "inverter-chain"
+               for d in data["diagnostics"])
+
+
+def test_exit_codes():
+    clean_report = lint_netlist_clean()
+    assert clean_report.exit_code() == 0
+    warn_report = lint_netlist(dirty())
+    assert warn_report.exit_code() == 0
+    assert warn_report.exit_code(strict=True) == 1
+    assert lint_netlist(broken()).exit_code() == 1
+
+
+def lint_netlist_clean():
+    nl = Netlist("clean")
+    a = nl.add_input("a")
+    g = nl.add_gate("g", GateType.NOT, [a])
+    nl.set_outputs([g])
+    return lint_netlist(nl)
+
+
+def test_load_policy_get_set_and_validation():
+    assert get_load_lint_policy() == "errors"
+    previous = set_load_lint_policy("off")
+    try:
+        assert previous == "errors"
+        assert get_load_lint_policy() == "off"
+        with pytest.raises(ValueError, match="unknown lint policy"):
+            set_load_lint_policy("bogus")
+    finally:
+        set_load_lint_policy(previous)
+
+
+def test_lint_on_load_policies(capsys):
+    assert lint_on_load(dirty(), policy="off") is None
+    report = lint_on_load(dirty(), policy="errors")
+    assert report is not None and report.ok
+    lint_on_load(dirty(), policy="warn", source="x.bench")
+    err = capsys.readouterr().err
+    assert "x.bench: warning:" in err
+    with pytest.raises(ParseError, match="strict"):
+        lint_on_load(dirty(), policy="strict")
+    with pytest.raises(ParseError, match="lint failed"):
+        lint_on_load(broken(), policy="errors")
+
+
+def test_validate_shim_still_raises_first_problem():
+    with pytest.raises(NetlistError, match="missing gate 42"):
+        validate(broken())
+    assert issues(broken()) != []
+    assert issues(dirty()) == []  # warnings are not validate() problems
+
+
+def test_validate_report_bridge_exposes_warnings():
+    rep = validate_report(dirty())
+    assert rep.warnings or rep.by_severity(Severity.INFO)

@@ -1,0 +1,130 @@
+"""Per-rule unit tests for the semantic lint group, plus the
+acceptance scenario from the issue (loop + dead cone + unobservable
+line all reported in one pass)."""
+
+from repro.analyze import Severity, lint_netlist
+from repro.circuit import GateType, Netlist
+
+
+def base():
+    nl = Netlist("s")
+    nl.add_input("a")
+    nl.add_input("b")
+    return nl
+
+
+def findings(netlist, rule):
+    return [d for d in lint_netlist(netlist).diagnostics
+            if d.rule == rule]
+
+
+def test_comb_loop_reports_the_cycle():
+    nl = base()
+    g1 = nl.add_gate("g1", GateType.AND, [0, 1])
+    g2 = nl.add_gate("g2", GateType.OR, [g1, 0])
+    nl.gates[g1].fanin = [0, g2]
+    nl._dirty()
+    nl.set_outputs([g2])
+    hits = findings(nl, "comb-loop")
+    assert len(hits) == 1
+    assert hits[0].severity is Severity.ERROR
+    assert hits[0].data["cycle"] in (["g1", "g2"], ["g2", "g1"])
+    assert "g1 -> g2" in hits[0].message or "g2 -> g1" in hits[0].message
+
+
+def test_self_loop_detected():
+    nl = base()
+    g = nl.add_gate("g", GateType.AND, [0, 1])
+    nl.gates[g].fanin = [0, g]
+    nl._dirty()
+    nl.set_outputs([g])
+    [hit] = findings(nl, "comb-loop")
+    assert hit.data["cycle"] == ["g"]
+
+
+def test_dff_loop_is_not_combinational():
+    nl = base()
+    d = nl.add_gate("d", GateType.AND, [0, 0])
+    q = nl.add_gate("q", GateType.DFF, [d])
+    nl.gates[d].fanin = [0, q]
+    nl._dirty()
+    nl.set_outputs([q])
+    assert not findings(nl, "comb-loop")
+
+
+def test_dead_gate_and_fanout_free_split():
+    nl = base()
+    live = nl.add_gate("live", GateType.AND, [0, 1])
+    d1 = nl.add_gate("d1", GateType.NOT, [0])    # feeds only d2
+    nl.add_gate("d2", GateType.AND, [d1, 1])     # feeds nothing
+    nl.set_outputs([live])
+    dead = findings(nl, "dead-gate")
+    free = findings(nl, "fanout-free")
+    assert [d.gate for d in dead] == ["d1"]
+    assert [d.gate for d in free] == ["d2"]
+
+
+def test_unused_input_not_flagged_fanout_free():
+    nl = base()
+    g = nl.add_gate("g", GateType.NOT, [0])  # input b unused
+    nl.set_outputs([g])
+    assert not findings(nl, "fanout-free")
+
+
+def test_unobservable_line_behind_dff():
+    nl = base()
+    u = nl.add_gate("u", GateType.XOR, [0, 1])
+    q = nl.add_gate("q", GateType.DFF, [u])
+    o = nl.add_gate("o", GateType.OR, [q, 0])
+    nl.set_outputs([o])
+    hits = findings(nl, "unobservable-line")
+    assert {d.gate for d in hits} == {"u", "b"}
+
+
+def test_const_feed():
+    nl = base()
+    c = nl.add_gate("c", GateType.CONST1)
+    g = nl.add_gate("g", GateType.AND, [0, c])
+    nl.set_outputs([g])
+    [hit] = findings(nl, "const-feed")
+    assert hit.gate == "g"
+    assert hit.data["pins"] == [1]
+
+
+def test_foldable_logic_duplicate_fanin():
+    nl = base()
+    g = nl.add_gate("g", GateType.AND, [0, 0])
+    nl.set_outputs([g])
+    [hit] = findings(nl, "foldable-logic")
+    assert hit.severity is Severity.INFO
+    assert hit.data["signals"] == ["a"]
+
+
+def test_inverter_chain():
+    nl = base()
+    n1 = nl.add_gate("n1", GateType.NOT, [0])
+    n2 = nl.add_gate("n2", GateType.NOT, [n1])
+    nl.set_outputs([n2])
+    [hit] = findings(nl, "inverter-chain")
+    assert hit.gate == "n2"
+    assert hit.data["feeder"] == "n1"
+
+
+def test_acceptance_loop_dead_cone_unobservable_together():
+    """ISSUE acceptance: one netlist seeded with a combinational loop,
+    a dead cone and an unobservable line reports all three."""
+    nl = base()
+    g1 = nl.add_gate("g1", GateType.AND, [0, 1])
+    g2 = nl.add_gate("g2", GateType.OR, [g1, 0])
+    nl.gates[g1].fanin = [0, g2]          # loop g1 <-> g2
+    nl._dirty()
+    d1 = nl.add_gate("d1", GateType.NOT, [0])
+    nl.add_gate("d2", GateType.AND, [d1, 1])   # dead cone
+    u = nl.add_gate("u", GateType.XOR, [0, 1])
+    q = nl.add_gate("q", GateType.DFF, [u])    # u unobservable
+    o = nl.add_gate("o", GateType.OR, [g2, q])
+    nl.set_outputs([o])
+    report = lint_netlist(nl)
+    fired = {d.rule for d in report.diagnostics}
+    assert {"comb-loop", "dead-gate", "unobservable-line"} <= fired
+    assert report.exit_code() != 0

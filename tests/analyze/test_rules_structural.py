@@ -1,0 +1,115 @@
+"""Per-rule unit tests for the structural lint group."""
+
+import pytest
+
+from repro.analyze import Severity, lint_netlist
+from repro.circuit import GateType, Netlist
+
+
+def good():
+    nl = Netlist("g")
+    a = nl.add_input("a")
+    g = nl.add_gate("g", GateType.NOT, [a])
+    nl.set_outputs([g])
+    return nl
+
+
+def rules_fired(netlist):
+    return {d.rule for d in lint_netlist(netlist).diagnostics}
+
+
+def findings(netlist, rule):
+    return [d for d in lint_netlist(netlist).diagnostics
+            if d.rule == rule]
+
+
+def test_clean_netlist_is_clean():
+    report = lint_netlist(good())
+    assert report.clean
+    assert report.ok
+    assert report.exit_code() == 0
+
+
+def test_index_integrity():
+    nl = good()
+    nl.gates[1].index = 42
+    hits = findings(nl, "index-integrity")
+    assert len(hits) == 1
+    assert hits[0].severity is Severity.ERROR
+    assert "index field 42" in hits[0].message
+
+
+def test_duplicate_name_reported_once_per_name():
+    nl = good()
+    nl.gates.append(nl.gates[0].copy())
+    nl.gates.append(nl.gates[0].copy())
+    nl.gates[2].index, nl.gates[3].index = 2, 3
+    hits = findings(nl, "duplicate-name")
+    assert len(hits) == 1  # 'a' appears 3 times -> one diagnostic
+    assert hits[0].data["indices"] == [0, 2, 3]
+
+
+def test_name_map_stale_entry():
+    nl = good()
+    nl._name2idx["ghost"] = 7
+    assert any("out of range" in d.message
+               for d in findings(nl, "name-map"))
+    nl2 = good()
+    nl2._name2idx["g"] = 0
+    assert any("is named" in d.message for d in findings(nl2, "name-map"))
+
+
+def test_name_map_missing_gate():
+    nl = good()
+    del nl._name2idx["g"]
+    assert any("missing from the name map" in d.message
+               for d in findings(nl, "name-map"))
+
+
+def test_arity():
+    nl = good()
+    nl.gates[1].fanin = [0, 0]
+    hits = findings(nl, "arity")
+    assert len(hits) == 1
+    assert "NOT with 2" in hits[0].message
+
+
+def test_fanin_range():
+    nl = good()
+    nl.gates[1].fanin = [17]
+    hits = findings(nl, "fanin-range")
+    assert "references missing gate 17" in hits[0].message
+
+
+def test_output_range():
+    nl = good()
+    nl.outputs = [99]
+    assert findings(nl, "output-range")
+
+
+def test_no_outputs_and_no_inputs():
+    nl = good()
+    nl.outputs = []
+    assert findings(nl, "no-outputs")
+    nl2 = Netlist("x")
+    c = nl2.add_gate("c", GateType.CONST1)
+    nl2.set_outputs([c])
+    assert findings(nl2, "no-inputs")
+
+
+def test_structural_errors_gate_semantic_rules():
+    nl = good()
+    nl.gates[1].fanin = [17]  # semantic traversals would crash on this
+    report = lint_netlist(nl)
+    assert "semantic" in report.skipped_groups
+    assert all(d.rule != "dead-gate" for d in report.diagnostics)
+
+
+def test_suppression_and_unknown_rule():
+    nl = good()
+    nl.outputs = []
+    report = lint_netlist(nl, suppress=["no-outputs"])
+    assert all(d.rule != "no-outputs" for d in report.diagnostics)
+    assert report.suppressed == ["no-outputs"]
+    with pytest.raises(KeyError):
+        lint_netlist(nl, suppress=["not-a-rule"])

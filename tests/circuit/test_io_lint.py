@@ -1,0 +1,134 @@
+"""Malformed-input error paths in the file readers, and the automatic
+lint-on-load hook both readers run after parsing."""
+
+import pytest
+
+from repro.analyze import set_load_lint_policy
+from repro.circuit import bench_io, verilog_io
+from repro.errors import ParseError
+
+BENCH_DEAD_CONE = """
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = NAND(a, b)
+d1 = NOT(a)
+d2 = AND(d1, b)
+"""
+
+VERILOG_DEAD_CONE = """
+module m (a, b, y);
+  input a, b;
+  output y;
+  wire d1, d2;
+  nand u0 (y, a, b);
+  not  u1 (d1, a);
+  and  u2 (d2, d1, b);
+endmodule
+"""
+
+
+# ---------------------------------------------------------------- bench
+def test_bench_bad_arity_raises():
+    with pytest.raises(ParseError):
+        bench_io.loads("INPUT(x)\nOUTPUT(y)\ny = NOT(x, x)\n")
+
+
+def test_bench_undefined_signal_raises():
+    with pytest.raises(ParseError, match="never defined"):
+        bench_io.loads("INPUT(x)\nOUTPUT(y)\ny = OR(x, ghost)\n")
+
+
+def test_bench_cyclic_definition_raises():
+    with pytest.raises(ParseError, match="cycle"):
+        bench_io.loads(
+            "INPUT(x)\nOUTPUT(p)\np = AND(x, q)\nq = NOT(p)\n")
+
+
+def test_bench_no_outputs_caught_by_load_lint():
+    with pytest.raises(ParseError, match="no-outputs"):
+        bench_io.loads("INPUT(x)\ny = NOT(x)\n")
+
+
+def test_bench_no_outputs_loads_with_lint_off():
+    nl = bench_io.loads("INPUT(x)\ny = NOT(x)\n", lint="off")
+    assert nl.num_outputs == 0
+
+
+def test_bench_dead_cone_warns_not_fails(capsys):
+    nl = bench_io.loads(BENCH_DEAD_CONE)  # default: errors only
+    assert nl.num_outputs == 1
+    bench_io.loads(BENCH_DEAD_CONE, name="dc.bench", lint="warn")
+    err = capsys.readouterr().err
+    assert "dc.bench: warning:" in err and "dead-gate" in err
+    with pytest.raises(ParseError, match="strict"):
+        bench_io.loads(BENCH_DEAD_CONE, lint="strict")
+
+
+def test_bench_process_wide_policy_applies(tmp_path):
+    path = tmp_path / "dc.bench"
+    path.write_text(BENCH_DEAD_CONE)
+    previous = set_load_lint_policy("strict")
+    try:
+        with pytest.raises(ParseError, match="strict"):
+            bench_io.load(path)
+    finally:
+        set_load_lint_policy(previous)
+    assert bench_io.load(path).name == "dc"
+
+
+# -------------------------------------------------------------- verilog
+def test_verilog_undefined_signal_raises():
+    with pytest.raises(ParseError, match="never driven"):
+        verilog_io.loads("""
+        module m (a, y);
+          input a;
+          output y;
+          and u0 (y, a, ghost);
+        endmodule
+        """)
+
+
+def test_verilog_cyclic_definition_raises():
+    with pytest.raises(ParseError, match="cycle"):
+        verilog_io.loads("""
+        module m (a, y);
+          input a;
+          output y;
+          wire w;
+          and u0 (w, a, y);
+          not u1 (y, w);
+        endmodule
+        """)
+
+
+def test_verilog_bad_arity_raises():
+    with pytest.raises(ParseError, match="needs an output"):
+        verilog_io.loads("""
+        module m (a, y);
+          input a;
+          output y;
+          not u0 (y);
+        endmodule
+        """)
+
+
+def test_verilog_dead_cone_warns_not_fails(capsys):
+    nl = verilog_io.loads(VERILOG_DEAD_CONE)
+    assert nl.num_outputs == 1
+    verilog_io.loads(VERILOG_DEAD_CONE, name="m.v", lint="warn")
+    err = capsys.readouterr().err
+    assert "m.v: warning:" in err
+    with pytest.raises(ParseError, match="strict"):
+        verilog_io.loads(VERILOG_DEAD_CONE, lint="strict")
+
+
+def test_verilog_no_outputs_caught_by_load_lint():
+    with pytest.raises(ParseError, match="no-outputs"):
+        verilog_io.loads("""
+        module m (a);
+          input a;
+          wire w;
+          not u0 (w, a);
+        endmodule
+        """)

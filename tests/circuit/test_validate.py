@@ -46,6 +46,20 @@ def test_duplicate_names_detected():
     assert any("duplicate" in p for p in issues(nl))
 
 
+def test_duplicate_name_reported_once():
+    """A name occurring K times yields ONE problem, not K-1."""
+    nl = Netlist("d")
+    nl.add_input("a")
+    nl.add_gate("b", GateType.NOT, [0])
+    nl.add_gate("c", GateType.NOT, [0])
+    nl.set_outputs([1, 2])
+    nl.gates[1].name = "a"
+    nl.gates[2].name = "a"
+    dupes = [p for p in issues(nl) if "duplicate" in p]
+    assert len(dupes) == 1
+    assert "3 gates" in dupes[0]
+
+
 def test_bad_arity_detected():
     nl = good()
     nl.gates[1].fanin = [0, 0]

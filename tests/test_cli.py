@@ -97,3 +97,59 @@ def test_vcd_command(tmp_path, capsys):
     assert main(["vcd", str(bench_path), str(vcd_path),
                  "--vectors", "16"]) == 0
     assert "$enddefinitions" in vcd_path.read_text()
+
+
+def test_lint_clean_circuit(tmp_path, capsys):
+    path = tmp_path / "c17.bench"
+    bench_io.dump(generators.c17(), path)
+    assert main(["lint", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_warnings_and_strict(tmp_path, capsys):
+    path = tmp_path / "dead.bench"
+    path.write_text("INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+                    "y = NAND(a, b)\nd1 = NOT(a)\nd2 = AND(d1, b)\n")
+    assert main(["lint", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "dead-gate" in out and "fanout-free" in out
+    assert main(["lint", "--strict", str(path)]) == 1
+    assert main(["lint", "--strict", "--suppress",
+                 "dead-gate,fanout-free", str(path)]) == 0
+
+
+def test_lint_unparsable_file_exits_2(tmp_path, capsys):
+    path = tmp_path / "bad.bench"
+    path.write_text("INPUT(x)\nOUTPUT(p)\np = AND(x, q)\nq = NOT(p)\n")
+    assert main(["lint", str(path)]) == 2
+    assert "cycle" in capsys.readouterr().err
+
+
+def test_lint_json_format(tmp_path, capsys):
+    import json as json_mod
+    path = tmp_path / "c17.bench"
+    bench_io.dump(generators.c17(), path)
+    assert main(["lint", "--format", "json", str(path)]) == 0
+    data = json_mod.loads(capsys.readouterr().out)
+    assert data[0]["netlist"] == "c17"
+    assert data[0]["counts"]["error"] == 0
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "comb-loop" in out and "unobservable-line" in out
+
+
+def test_diagnose_with_invariant_checks(tmp_path, capsys):
+    spec_path = tmp_path / "spec.bench"
+    impl_path = tmp_path / "impl.bench"
+    bench_io.dump(generators.c17(), spec_path)
+    assert main(["inject", str(spec_path), str(impl_path),
+                 "--faults", "1", "--seed", "3"]) == 0
+    capsys.readouterr()
+    rc = main(["diagnose", str(spec_path), str(impl_path),
+               "--vectors", "256", "--max-errors", "1",
+               "--check-invariants"])
+    assert rc == 0
