@@ -8,6 +8,7 @@ regressions when modifying the kernels.
 
 import pytest
 
+from repro.bench import simbench
 from repro.circuit import LineTable, generators
 from repro.circuit.transform import optimize_area
 from repro.diagnose import DiagnosisState, path_trace_counts
@@ -57,6 +58,38 @@ def test_podem_throughput(benchmark, alu):
     podem = Podem(alu, table, backtrack_limit=100)
     results = benchmark(lambda: [podem.generate(f) for f in faults])
     assert sum(1 for a, _ in results if a is not None) > 0
+
+
+@pytest.fixture(scope="module")
+def suspect_sweep():
+    """Heuristic-1 suspect-scoring workload on r880, 1024 vectors.
+
+    The same setup ``repro bench`` times: flip each suspect line's
+    failing-vector bits and propagate the difference to the outputs.
+    """
+    circuit = generators.by_name("r880")
+    values, err_mask, _patterns = simbench._prepare(circuit, 1024, seed=0)
+    suspects = simbench._suspect_signals(circuit, 128)
+    circuit.event_fanouts()
+    circuit.levels()
+    return circuit, values, err_mask, suspects
+
+
+def test_suspect_scoring_event_kernel(benchmark, suspect_sweep):
+    circuit, values, err_mask, suspects = suspect_sweep
+    events = benchmark(simbench._sweep, "event", circuit, values,
+                       err_mask, suspects)
+    assert events > 0
+    benchmark.extra_info["suspects_per_call"] = len(suspects)
+
+
+def test_suspect_scoring_scan_kernel(benchmark, suspect_sweep):
+    """Pre-event-kernel baseline (full topological scan per suspect)."""
+    circuit, values, err_mask, suspects = suspect_sweep
+    events = benchmark(simbench._sweep, "scan", circuit, values,
+                       err_mask, suspects)
+    assert events > 0
+    benchmark.extra_info["suspects_per_call"] = len(suspects)
 
 
 def test_optimize_area_speed(benchmark):

@@ -1,0 +1,80 @@
+"""Simulation-kernel benchmarks (the ``BENCH_sim.json`` suites).
+
+pytest-benchmark twin of ``repro bench``: times the heuristic-1
+suspect-scoring sweep per (circuit, kernel) pair and the full-circuit
+simulate across the vector ladder, delegating all workload construction
+to :mod:`repro.bench.simbench` so the two entry points measure the same
+thing.  Run as a script (``python benchmarks/bench_sim.py [--smoke]``)
+it regenerates ``BENCH_sim.json`` exactly like the CLI subcommand.
+
+Scale knobs follow conftest: ``REPRO_BENCH_SCALE`` resizes the circuits
+for quick CI runs.
+"""
+
+import pytest
+
+from conftest import SCALE
+from repro.bench import simbench
+from repro.circuit import generators
+
+VECTORS = 1024
+SUSPECT_CAP = 128
+
+
+@pytest.fixture(scope="module", params=simbench.MICRO_CIRCUITS)
+def micro_workload(request):
+    circuit = generators.by_name(request.param, scale=SCALE)
+    values, err_mask, _patterns = simbench._prepare(circuit, VECTORS,
+                                                    seed=0)
+    suspects = simbench._suspect_signals(circuit, SUSPECT_CAP)
+    circuit.event_fanouts()
+    circuit.levels()
+    return circuit, values, err_mask, suspects
+
+
+@pytest.mark.parametrize("kernel", ("event", "scan"))
+def test_suspect_sweep(benchmark, micro_workload, kernel):
+    circuit, values, err_mask, suspects = micro_workload
+    events = benchmark(simbench._sweep, kernel, circuit, values,
+                       err_mask, suspects)
+    assert events > 0
+    benchmark.extra_info.update({
+        "circuit": circuit.name, "kernel": kernel,
+        "nvectors": VECTORS, "suspects": len(suspects),
+        "events_per_call": events,
+    })
+
+
+def test_bench_payload_schema():
+    """The smoke payload must satisfy the BENCH_sim.json schema."""
+    payload = simbench.run_suites(smoke=True, repeats=1)
+    assert simbench.validate_payload(payload) == []
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="regenerate BENCH_sim.json (same as `repro bench`)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced circuits/vectors for CI")
+    parser.add_argument("--out", default="BENCH_sim.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    payload = simbench.run_suites(smoke=args.smoke, repeats=args.repeats)
+    errors = simbench.validate_payload(payload)
+    if errors:
+        for err in errors:
+            print(f"schema: {err}")
+        return 2
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(simbench.format_records(payload["records"]))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

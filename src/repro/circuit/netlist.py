@@ -54,8 +54,15 @@ class Netlist:
         self.outputs: list[int] = []
         self._name2idx: dict[str, int] = {}
         self._fanouts: list[list[int]] | None = None
+        self._event_fanouts: tuple[tuple[int, ...], ...] | None = None
         self._topo: list[int] | None = None
+        self._topo_pos: list[int] | None = None
         self._levels: list[int] | None = None
+        self._sorted_cones: dict[int, tuple[int, ...]] = {}
+        self._cone_sets: dict[int, set[int]] = {}
+        # Flat per-gate tables owned by repro.sim.logicsim (built lazily
+        # there, invalidated here with the other derived caches).
+        self._sim_tables: tuple | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -154,6 +161,24 @@ class Netlist:
             self._fanouts = table
         return self._fanouts
 
+    def event_fanouts(self) -> tuple[tuple[int, ...], ...]:
+        """Per-signal *event* sinks: :meth:`fanouts` deduplicated and with
+        DFF consumers removed.
+
+        This is the edge list the event-driven simulator walks when a
+        signal changes — a multi-pin consumer needs scheduling once, and
+        DFF fanin is a sequential edge that combinational events never
+        cross.  Cached until the next mutation.
+        """
+        if self._event_fanouts is None:
+            gates = self.gates
+            self._event_fanouts = tuple(
+                tuple(dict.fromkeys(
+                    sink for sink in sinks
+                    if gates[sink].gtype is not GateType.DFF))
+                for sinks in self.fanouts())
+        return self._event_fanouts
+
     def topo_order(self) -> list[int]:
         """Gate indices in topological (fanin-before-gate) order.
 
@@ -165,6 +190,21 @@ class Netlist:
         if self._topo is None:
             self._topo = self._compute_topo()
         return self._topo
+
+    def topo_positions(self) -> list[int]:
+        """Rank of each gate in :meth:`topo_order`.
+
+        ``topo_positions()[i]`` is the position of gate *i* in the
+        topological order; every fanin of a gate has a strictly smaller
+        rank.  The event-driven simulator uses these ranks to pop its
+        worklist in dependency order.
+        """
+        if self._topo_pos is None:
+            pos = [0] * len(self.gates)
+            for rank, idx in enumerate(self.topo_order()):
+                pos[idx] = rank
+            self._topo_pos = pos
+        return self._topo_pos
 
     def _compute_topo(self) -> list[int]:
         order: list[int] = []
@@ -227,16 +267,40 @@ class Netlist:
         return self._levels
 
     def fanout_cone(self, start: int) -> set[int]:
-        """All gates whose value can depend on signal ``start`` (incl. it)."""
-        fos = self.fanouts()
-        cone = {start}
-        stack = [start]
-        while stack:
-            node = stack.pop()
-            for nxt in fos[node]:
-                if nxt not in cone and self.gates[nxt].gtype is not GateType.DFF:
-                    cone.add(nxt)
-                    stack.append(nxt)
+        """All gates whose value can depend on signal ``start`` (incl. it).
+
+        Cached (the same set object is returned until the next mutation);
+        treat the result as read-only.
+        """
+        cone = self._cone_sets.get(start)
+        if cone is None:
+            cone = set(self.sorted_cone(start))
+            self._cone_sets[start] = cone
+        return cone
+
+    def sorted_cone(self, start: int) -> tuple[int, ...]:
+        """Fanout cone of ``start`` as a topologically sorted tuple.
+
+        Cached per signal (and invalidated on every mutation) because
+        diagnosis warms up one cone per suspect line and then replays it
+        for every candidate correction at that line.  DFF fanin edges are
+        sequential, so cones never cross into a flip-flop.
+        """
+        cone = self._sorted_cones.get(start)
+        if cone is None:
+            fos = self.fanouts()
+            seen = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for nxt in fos[node]:
+                    if nxt not in seen and \
+                            self.gates[nxt].gtype is not GateType.DFF:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            pos = self.topo_positions()
+            cone = tuple(sorted(seen, key=pos.__getitem__))
+            self._sorted_cones[start] = cone
         return cone
 
     def fanin_cone(self, start: int) -> set[int]:
@@ -279,8 +343,13 @@ class Netlist:
     # ------------------------------------------------------------------
     def _dirty(self) -> None:
         self._fanouts = None
+        self._event_fanouts = None
         self._topo = None
+        self._topo_pos = None
         self._levels = None
+        self._sorted_cones.clear()
+        self._cone_sets.clear()
+        self._sim_tables = None
 
     def set_gate_type(self, index: int, gtype: GateType) -> None:
         """Replace the function of gate ``index`` keeping its fanin."""

@@ -5,9 +5,10 @@ from .config import (DiagnosisConfig, FLOOR, HLevel, Mode,
                      default_schedule)
 from .pathtrace import (marked_lines, path_trace_counts,
                         path_trace_vector, top_fraction)
-from .potential import LinePotential, correcting_potential, rank_lines
+from .potential import (LinePotential, correcting_potential,
+                        correcting_potentials, rank_lines)
 from .screening import (ScreenedCorrection, evaluate_correction,
-                        screen_verr, theorem1_bound)
+                        screen_corrections, screen_verr, theorem1_bound)
 from .candidates import (corrections_for_line, design_error_corrections,
                          stuck_at_corrections, wire_sources)
 from .ranking import rank_corrections, rank_value
@@ -31,9 +32,10 @@ __all__ = [
     "DiagnosisConfig", "FLOOR", "HLevel", "Mode", "default_schedule",
     "marked_lines", "path_trace_counts", "path_trace_vector",
     "top_fraction",
-    "LinePotential", "correcting_potential", "rank_lines",
-    "ScreenedCorrection", "evaluate_correction", "screen_verr",
-    "theorem1_bound",
+    "LinePotential", "correcting_potential", "correcting_potentials",
+    "rank_lines",
+    "ScreenedCorrection", "evaluate_correction", "screen_corrections",
+    "screen_verr", "theorem1_bound",
     "corrections_for_line", "design_error_corrections",
     "stuck_at_corrections", "wire_sources", "enumerate_corrections",
     "rank_corrections", "rank_value",

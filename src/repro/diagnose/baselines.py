@@ -66,12 +66,9 @@ def _propagate(fsim: FaultSimulator, forced, stem: bool, line):
 
     if stem:
         return propagate(fsim.netlist, fsim.values,
-                         stem_overrides={line.driver: forced},
-                         cone=fsim._cone(line.driver))
-    cone = fsim._cone(line.sink) | {line.sink}
+                         stem_overrides={line.driver: forced})
     return propagate(fsim.netlist, fsim.values,
-                     pin_overrides={(line.sink, line.pin): forced},
-                     cone=cone)
+                     pin_overrides={(line.sink, line.pin): forced})
 
 
 def exhaustive_multifault_diagnosis(spec: Netlist, impl: Netlist,

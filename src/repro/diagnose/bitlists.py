@@ -63,7 +63,13 @@ class DiagnosisState:
         self.num_err = popcount(self.err_mask)
         self.num_corr = patterns.nbits - self.num_err
         self.num_err_pairs = popcount(self.diff)
-        self._cones: dict[int, set] = {}
+        # One scratch diff matrix reused by every outcome_of_override
+        # call (the heuristic-1/3 sweeps evaluate hundreds of overrides
+        # per tree node; allocating a fresh matrix each time dominated).
+        self._diff_scratch: np.ndarray | None = None
+        # Baseline big-int rows for the event kernel, shared by every
+        # propagate call on this state (values never mutates in place).
+        self._base_ints: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -87,12 +93,12 @@ class DiagnosisState:
         return self.num_err
 
     def cone_of(self, signal: int) -> set:
-        """Cached fanout cone of a signal (gate index set)."""
-        cone = self._cones.get(signal)
-        if cone is None:
-            cone = self.netlist.fanout_cone(signal)
-            self._cones[signal] = cone
-        return cone
+        """Fanout cone of a signal (gate index set).
+
+        Backed by the :meth:`Netlist.sorted_cone` cache, so the cone
+        survives across every consumer working on this netlist.
+        """
+        return self.netlist.fanout_cone(signal)
 
     # ------------------------------------------------------------------
     def propagate_line_override(self, line_index: int,
@@ -107,23 +113,31 @@ class DiagnosisState:
         if line.is_stem:
             return propagate(self.netlist, self.values,
                              stem_overrides={line.driver: new_words},
-                             cone=self.cone_of(line.driver))
-        cone = self.cone_of(line.sink) | {line.sink}
+                             base_ints=self._base_ints)
         return propagate(self.netlist, self.values,
                          pin_overrides={(line.sink, line.pin): new_words},
-                         cone=cone)
+                         base_ints=self._base_ints)
 
     def outcome_of_override(self, line_index: int,
                             new_words: np.ndarray) -> "OverrideOutcome":
-        """Propagate an override and summarize its effect on V."""
+        """Propagate an override and summarize its effect on V.
+
+        Reuses one per-state scratch diff matrix across calls, so a
+        whole suspect-scoring sweep performs no per-candidate
+        allocations beyond the propagate result itself.
+        """
         changed = self.propagate_line_override(line_index, new_words)
         nbits = self.patterns.nbits
-        diff_after = np.array(self.diff, copy=True)
+        if self._diff_scratch is None:
+            self._diff_scratch = np.empty_like(self.diff)
+        diff_after = self._diff_scratch
+        np.copyto(diff_after, self.diff)
         for pos, po in enumerate(self.netlist.outputs):
             row = changed.get(po)
             if row is not None:
-                diff_after[pos] = row ^ self.spec_out[pos]
-        diff_after = masked(diff_after, nbits)
+                np.bitwise_xor(row, self.spec_out[pos],
+                               out=diff_after[pos])
+        diff_after[..., -1] &= tail_mask(nbits)
         err_after = np.bitwise_or.reduce(diff_after, axis=0)
         rectified_vecs = popcount(self.err_mask & ~err_after)
         broken_vecs = popcount(self.corr_mask & err_after)

@@ -66,10 +66,9 @@ def _legal_sources_mask(state: DiagnosisState, driver: int) -> np.ndarray:
     """
     netlist = state.netlist
     mask = np.ones(len(netlist.gates), dtype=bool)
-    for sig in state.cone_of(driver):
-        mask[sig] = False
-    for src in netlist.gates[driver].fanin:
-        mask[src] = False
+    cone = netlist.sorted_cone(driver)
+    mask[np.fromiter(cone, dtype=np.intp, count=len(cone))] = False
+    mask[netlist.gates[driver].fanin] = False
     mask[driver] = False
     return mask
 

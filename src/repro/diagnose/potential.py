@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .bitlists import DiagnosisState
 
 
@@ -45,6 +47,28 @@ def correcting_potential(state: DiagnosisState,
                          outcome.fixed_pairs / denom)
 
 
+def correcting_potentials(state: DiagnosisState,
+                          candidates) -> list[LinePotential]:
+    """Batched heuristic-1 sweep over ``candidates``.
+
+    The whole sweep shares the state's flip buffer and scratch diff
+    matrix: each suspect costs one event-driven ``propagate`` over its
+    cone plus a handful of in-place word operations — no per-suspect
+    matrix allocations.
+    """
+    denom = state.num_err_pairs if state.num_err_pairs else 1
+    err_mask = state.err_mask
+    flip = np.empty_like(err_mask)
+    out: list[LinePotential] = []
+    for line in candidates:
+        np.bitwise_xor(state.line_values(line), err_mask, out=flip)
+        outcome = state.outcome_of_override(line, flip)
+        out.append(LinePotential(line, outcome.fixed_pairs,
+                                 outcome.rectified_vectors,
+                                 outcome.fixed_pairs / denom))
+    return out
+
+
 def rank_lines(state: DiagnosisState, candidates,
                h1: float) -> list[LinePotential]:
     """Evaluate and sort candidate lines by decreasing potential.
@@ -52,7 +76,7 @@ def rank_lines(state: DiagnosisState, candidates,
     Lines failing the ``h1`` threshold are dropped ("eliminate lines that
     have no potential to lead towards an optimal solution", §3.1).
     """
-    potentials = [correcting_potential(state, line) for line in candidates]
+    potentials = correcting_potentials(state, candidates)
     kept = [p for p in potentials if p.qualifies(h1)]
     kept.sort(key=lambda p: (-p.fixed_pairs, p.line))
     return kept

@@ -108,3 +108,23 @@ def evaluate_correction(state: DiagnosisState, corr: Correction,
         return None
     return ScreenedCorrection(corr, new_words, complemented, outcome,
                               h1_score, h3_score)
+
+
+def screen_corrections(state: DiagnosisState, corrections,
+                       required_bits: int,
+                       h3: float) -> list[ScreenedCorrection]:
+    """Batched screen of many candidate corrections on one state.
+
+    The whole sweep runs on the state's shared scratch diff matrix (see
+    :meth:`DiagnosisState.outcome_of_override`), so screening a node's
+    full correction vocabulary — typically hundreds of candidates —
+    allocates nothing per candidate beyond each survivor's predicted
+    line words.  Rejected corrections simply do not appear in the
+    result; order is preserved otherwise.
+    """
+    survivors: list[ScreenedCorrection] = []
+    for corr in corrections:
+        sc = evaluate_correction(state, corr, required_bits, h3)
+        if sc is not None:
+            survivors.append(sc)
+    return survivors

@@ -29,7 +29,7 @@ from .pathtrace import path_trace_counts, top_fraction
 from .potential import rank_lines
 from .ranking import rank_corrections
 from .report import CorrectionRecord, EngineStats, Solution
-from .screening import ScreenedCorrection, evaluate_correction
+from .screening import ScreenedCorrection, screen_corrections
 
 
 @dataclass
@@ -97,10 +97,9 @@ class DecisionTree:
         required = max(1, int(self.h.h2 * state.num_err))
         screened: list[ScreenedCorrection] = []
         for pot in potentials:
-            for corr in corrections_for_line(state, pot.line, config):
-                sc = evaluate_correction(state, corr, required, self.h.h3)
-                if sc is not None:
-                    screened.append(sc)
+            screened.extend(screen_corrections(
+                state, corrections_for_line(state, pot.line, config),
+                required, self.h.h3))
         ranked = rank_corrections(state, screened)
         node.pending = [sc for _rank, sc in
                         ranked[: config.corrections_per_node]]

@@ -50,14 +50,6 @@ class FaultSimulator:
         self.values = simulate(netlist, patterns)
         self.good_outputs = output_rows(netlist, self.values)
         self._tail = tail_mask(patterns.nbits)
-        self._cones: dict[int, set] = {}
-
-    def _cone(self, signal: int) -> set:
-        cone = self._cones.get(signal)
-        if cone is None:
-            cone = self.netlist.fanout_cone(signal)
-            self._cones[signal] = cone
-        return cone
 
     def detection_mask(self, fault: SimFault) -> np.ndarray:
         """Packed mask of vectors detecting ``fault`` at some output."""
@@ -68,14 +60,11 @@ class FaultSimulator:
                                     np.uint64(0xFFFFFFFFFFFFFFFF)))
         if line.is_stem:
             changed = propagate(self.netlist, self.values,
-                                stem_overrides={line.driver: forced},
-                                cone=self._cone(line.driver))
+                                stem_overrides={line.driver: forced})
         else:
-            cone = self._cone(line.sink) | {line.sink}
             changed = propagate(self.netlist, self.values,
                                 pin_overrides={(line.sink, line.pin):
-                                               forced},
-                                cone=cone)
+                                               forced})
         mask = np.zeros(self.values.shape[1], dtype=np.uint64)
         for po_pos, po in enumerate(self.netlist.outputs):
             row = changed.get(po)

@@ -12,6 +12,26 @@ entry points:
   heuristic 3 (push a candidate correction's effect across the passing
   vectors).
 
+:func:`propagate` is an *event-driven* kernel: a worklist seeded from
+the overridden stems/pins is drained level by level (every fanin sits on
+a strictly smaller level, so it is final before its sinks are
+evaluated), gates whose fanin words did not change are never scheduled,
+and the sweep stops as soon as the event frontier dies — instead of
+scanning the whole ``topo_order()`` and testing cone membership per
+gate.
+
+Inside the event kernel, packed rows are carried as Python big-ints
+rather than numpy arrays.  Incremental cones are deep and narrow — a
+handful of gates per level — so there is nothing to vectorize *across*,
+and per-gate numpy dispatch (≈ µs per call even on a 16-word row)
+swamps the actual bit work.  A bitwise op on a 1024-bit Python int runs
+in ≈ 100 ns, an order of magnitude cheaper; only the rows an event
+actually touches are converted, lazily, and changed rows are converted
+back to ``uint64`` arrays at the end.  The previous full-scan kernel is
+kept as :func:`propagate_scan`: it is the obviously-correct reference
+the property tests compare against and the baseline the benchmark
+harness measures speedups over.
+
 Overrides come in two flavours mirroring the line model: a *stem*
 override replaces a signal everywhere; a *pin* override replaces the
 value seen by one specific (gate, pin) — i.e. a fanout branch.
@@ -19,6 +39,8 @@ value seen by one specific (gate, pin) — i.e. a fanout branch.
 
 from __future__ import annotations
 
+import heapq
+import sys
 from typing import Mapping
 
 import numpy as np
@@ -27,6 +49,45 @@ from ..circuit.gatetypes import GateType, eval_words
 from ..circuit.netlist import Netlist
 from ..errors import SimulationError
 from .packing import PatternSet
+
+#: Gate types :func:`propagate` never re-evaluates: sources hold their
+#: baseline value and DFF fanin is a sequential edge, not an event path.
+_PASSIVE_TYPES = (GateType.INPUT, GateType.DFF,
+                  GateType.CONST0, GateType.CONST1)
+
+#: (core-op index, invert) per evaluable gate type: 0 = AND, 1 = OR,
+#: 2 = XOR over the fanin ints.  BUF/NOT reduce over a single fanin, so
+#: any core works — AND is used.
+_INT_OP = {
+    GateType.BUF: (0, False), GateType.NOT: (0, True),
+    GateType.AND: (0, False), GateType.NAND: (0, True),
+    GateType.OR: (1, False), GateType.NOR: (1, True),
+    GateType.XOR: (2, False), GateType.XNOR: (2, True),
+}
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+def _row_to_int(row: np.ndarray) -> int:
+    """Packed uint64 row -> one big-int (bit *i* of the stream = bit *i*)."""
+    data = row if _LITTLE_ENDIAN else row.byteswap()
+    return int.from_bytes(data.tobytes(), "little")
+
+
+def _sim_tables(netlist: Netlist) -> tuple[list, list]:
+    """Flat per-gate ``(op, invert)`` and fanin-tuple tables.
+
+    Cached on the netlist (invalidated with the other derived structures
+    on mutation) so the event kernel's hot loop does plain list indexing
+    instead of ``Gate`` attribute access plus enum-keyed dict lookups.
+    Passive gate types get ``None`` — they are never scheduled.
+    """
+    tables = netlist._sim_tables
+    if tables is None:
+        ops = [_INT_OP.get(g.gtype) for g in netlist.gates]
+        fanins = [tuple(g.fanin) for g in netlist.gates]
+        netlist._sim_tables = tables = (ops, fanins)
+    return tables
 
 
 def simulate(netlist: Netlist, patterns: PatternSet,
@@ -76,20 +137,150 @@ def output_rows(netlist: Netlist, values: np.ndarray) -> np.ndarray:
 def propagate(netlist: Netlist, values: np.ndarray,
               stem_overrides: Mapping[int, np.ndarray] | None = None,
               pin_overrides: Mapping[tuple, np.ndarray] | None = None,
-              cone: set | None = None) -> dict:
+              cone: set | None = None,
+              base_ints: dict | None = None) -> dict:
     """Re-simulate the fanout cone of the overridden signals.
+
+    Event-driven: only gates reachable from an actual value change are
+    evaluated, level by level, and the sweep ends when the worklist
+    empties.  An override equal to the baseline seeds no events.  Rows
+    are evaluated as Python big-ints inside the kernel (see module
+    docstring); only touched rows are converted.
 
     Args:
         values: baseline value matrix from :func:`simulate` (not modified).
         stem_overrides: {signal: packed words} forced for all consumers.
         pin_overrides: {(sink_gate, pin): packed words} forced for one pin.
-        cone: optional precomputed union fanout cone (gate index set); pass
-            it when the caller caches cones to skip recomputation.
+        cone: optional gate-index set restricting which gates may be
+            re-evaluated.  The event kernel derives the frontier itself,
+            so passing the full fanout cone (what every caller used to
+            do) is never needed; the parameter is honoured as a filter
+            for callers that deliberately restrict propagation.
+        base_ints: optional {gate: big-int row} cache of *baseline*
+            conversions, owned by the caller and reused across calls that
+            share one ``values`` matrix (a suspect sweep converts the
+            same rows hundreds of times otherwise).  Must be dropped when
+            ``values`` changes; :class:`Simulator` and
+            ``DiagnosisState`` each hold one per value matrix.
 
     Returns:
         {gate_index: new packed words} for every gate whose value differs
         from the baseline, **plus** all overridden stems (even when equal).
         Look up a gate first in this dict, then in ``values``.
+    """
+    stem_overrides = dict(stem_overrides or {})
+    pin_overrides = dict(pin_overrides or {})
+    if not stem_overrides and not pin_overrides:
+        return {}
+    gates = netlist.gates
+    efanouts = netlist.event_fanouts()
+    levels = netlist.levels()
+    ops, fanins = _sim_tables(netlist)
+    nwords = values.shape[1]
+    ones = (1 << (64 * nwords)) - 1
+    base = base_ints if base_ints is not None else {}
+    base_get = base.get
+    cur: dict[int, int] = {}      # overridden/changed rows, as ints
+    cur_get = cur.get
+    diff: list[int] = []          # evaluated gates that differ, in order
+    buckets: dict[int, list[int]] = {}
+    level_heap: list[int] = []
+    scheduled: set[int] = set()
+
+    def schedule(idx: int) -> None:
+        if idx in scheduled:
+            return
+        if cone is not None and idx not in cone:
+            return
+        scheduled.add(idx)
+        lev = levels[idx]
+        bucket = buckets.get(lev)
+        if bucket is None:
+            buckets[lev] = bucket = []
+            heapq.heappush(level_heap, lev)
+        bucket.append(idx)
+
+    for sig, words in stem_overrides.items():
+        forced = _row_to_int(words)
+        cur[sig] = forced
+        b = base_get(sig)
+        if b is None:
+            base[sig] = b = _row_to_int(values[sig])
+        if forced == b:
+            continue  # no event: downstream cannot change
+        for sink in efanouts[sig]:
+            schedule(sink)
+    pins_by_sink: dict[int, dict[int, int]] = {}
+    for (sink, pin), words in pin_overrides.items():
+        if gates[sink].gtype in _PASSIVE_TYPES:
+            continue  # sources hold their value; DFF edges are sequential
+        pins_by_sink.setdefault(sink, {})[pin] = _row_to_int(words)
+        schedule(sink)
+
+    # Every scheduled gate is evaluable: event fanouts exclude DFFs, and
+    # source gates never appear as sinks (they have no fanin).
+    while level_heap:
+        lev = heapq.heappop(level_heap)
+        for idx in buckets.pop(lev):
+            if idx in stem_overrides:
+                continue  # forced value, do not recompute
+            pin_map = pins_by_sink.get(idx) if pins_by_sink else None
+            op, invert = ops[idx]
+            acc = None
+            for pin, src in enumerate(fanins[idx]):
+                val = pin_map.get(pin) if pin_map else None
+                if val is None:
+                    val = cur_get(src)
+                    if val is None:
+                        val = base_get(src)
+                        if val is None:
+                            base[src] = val = _row_to_int(values[src])
+                if acc is None:
+                    acc = val
+                elif op == 0:
+                    acc &= val
+                elif op == 1:
+                    acc |= val
+                else:
+                    acc ^= val
+            if invert:
+                acc ^= ones
+            b = base_get(idx)
+            if b is None:
+                base[idx] = b = _row_to_int(values[idx])
+            if acc == b:
+                continue  # event dies here; fanouts never scheduled by us
+            cur[idx] = acc
+            diff.append(idx)
+            for sink in efanouts[idx]:
+                schedule(sink)
+    changed: dict = dict(stem_overrides)
+    if diff:
+        # One buffer + one frombuffer for all changed rows (the returned
+        # rows are views into it), instead of a numpy call per row.
+        nbytes = nwords * 8
+        buf = b"".join(cur[idx].to_bytes(nbytes, "little")
+                       for idx in diff)
+        rows = np.frombuffer(bytearray(buf), dtype=np.uint64)
+        rows = rows.reshape(len(diff), nwords)
+        if not _LITTLE_ENDIAN:
+            rows = rows.byteswap()
+        for i, idx in enumerate(diff):
+            changed[idx] = rows[i]
+    return changed
+
+
+def propagate_scan(netlist: Netlist, values: np.ndarray,
+                   stem_overrides: Mapping[int, np.ndarray] | None = None,
+                   pin_overrides: Mapping[tuple, np.ndarray] | None = None,
+                   cone: set | None = None) -> dict:
+    """Reference kernel: full topological scan with cone-membership tests.
+
+    Functionally identical to :func:`propagate` (same contract, same
+    returned dict) but walks the *entire* ``topo_order()`` and evaluates
+    every cone gate whether or not its fanin changed.  Kept as the
+    pre-event-kernel baseline for the benchmark harness and as the
+    oracle for the propagate/simulate equivalence property tests.
     """
     stem_overrides = dict(stem_overrides or {})
     pin_overrides = dict(pin_overrides or {})
@@ -101,19 +292,16 @@ def propagate(netlist: Netlist, values: np.ndarray,
             cone |= netlist.fanout_cone(sig)
         for (sink, _pin) in pin_overrides:
             cone |= netlist.fanout_cone(sink)
-            cone.discard(sink)
             cone.add(sink)
     changed: dict = dict(stem_overrides)
     gates = netlist.gates
-    order = netlist.topo_order()
-    for idx in order:
+    for idx in netlist.topo_order():
         if idx not in cone:
             continue
         gate = gates[idx]
         if idx in stem_overrides:
             continue  # forced value, do not recompute
-        if gate.gtype in (GateType.INPUT, GateType.DFF,
-                          GateType.CONST0, GateType.CONST1):
+        if gate.gtype in _PASSIVE_TYPES:
             continue
         ins = []
         for pin, src in enumerate(gate.fanin):
@@ -140,13 +328,18 @@ def lookup(changed: dict, values: np.ndarray, idx: int) -> np.ndarray:
 
 class Simulator:
     """Convenience wrapper caching the value matrix for one netlist +
-    pattern set, with cone caching for repeated :func:`propagate` calls."""
+    pattern set.  Cone caching lives on the :class:`Netlist` itself
+    (:meth:`Netlist.sorted_cone`), so repeated :func:`propagate` calls
+    and other cone consumers share one cache."""
 
     def __init__(self, netlist: Netlist, patterns: PatternSet):
         self.netlist = netlist
         self.patterns = patterns
         self.values = simulate(netlist, patterns)
         self._cones: dict[int, set] = {}
+        # Baseline big-int rows, shared by every propagate call on this
+        # (netlist, values) pair; see the base_ints arg of propagate().
+        self._base_ints: dict[int, int] = {}
 
     def cone_of(self, signal: int) -> set:
         cone = self._cones.get(signal)
@@ -162,10 +355,10 @@ class Simulator:
                        words: np.ndarray) -> dict:
         return propagate(self.netlist, self.values,
                          stem_overrides={signal: words},
-                         cone=self.cone_of(signal))
+                         base_ints=self._base_ints)
 
     def propagate_pin(self, sink: int, pin: int,
                       words: np.ndarray) -> dict:
-        cone = self.cone_of(sink) | {sink}
         return propagate(self.netlist, self.values,
-                         pin_overrides={(sink, pin): words}, cone=cone)
+                         pin_overrides={(sink, pin): words},
+                         base_ints=self._base_ints)

@@ -8,12 +8,15 @@ count, tail mask) that counting utilities need.
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
 from ..errors import SimulationError
 
 WORD_BITS = 64
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 # numpy >= 2.0 ships a native popcount; otherwise use a 16-bit table.
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
@@ -47,17 +50,34 @@ def popcount(words: np.ndarray) -> int:
     return total
 
 
+def _words_to_le_bytes(words: np.ndarray) -> np.ndarray:
+    """Reinterpret packed words as their little-endian byte stream."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        words = words.byteswap()
+    return words.view(np.uint8)
+
+
 def pack_bits(bits: np.ndarray) -> np.ndarray:
-    """Pack a (signals x nbits) 0/1 array into (signals x words) uint64."""
+    """Pack a (signals x nbits) 0/1 array into (signals x words) uint64.
+
+    Vectorized via :func:`numpy.packbits` with ``bitorder="little"`` so
+    bit *i* of word *w* is vector ``64*w + i`` — the byte stream is then
+    viewed as little-endian ``uint64`` words (byte-swapped on big-endian
+    hosts).
+    """
     bits = np.asarray(bits, dtype=np.uint8)
     if bits.ndim == 1:
         bits = bits[np.newaxis, :]
     nsig, nbits = bits.shape
-    words = np.zeros((nsig, num_words(nbits)), dtype=np.uint64)
-    for i in range(nbits):
-        w, b = divmod(i, WORD_BITS)
-        words[:, w] |= bits[:, i].astype(np.uint64) << np.uint64(b)
-    return words
+    nwords = num_words(nbits)
+    packed = np.packbits(bits, axis=1, bitorder="little")
+    out = np.zeros((nsig, nwords * 8), dtype=np.uint8)
+    out[:, :packed.shape[1]] = packed
+    words = out.view(np.uint64)
+    if not _LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts only
+        words = words.byteswap()
+    return np.ascontiguousarray(words)
 
 
 def unpack_bits(words: np.ndarray, nbits: int) -> np.ndarray:
@@ -66,28 +86,41 @@ def unpack_bits(words: np.ndarray, nbits: int) -> np.ndarray:
     if words.ndim == 1:
         words = words[np.newaxis, :]
     nsig = words.shape[0]
-    bits = np.zeros((nsig, nbits), dtype=np.uint8)
-    for i in range(nbits):
-        w, b = divmod(i, WORD_BITS)
-        bits[:, i] = ((words[:, w] >> np.uint64(b)) & np.uint64(1)
-                      ).astype(np.uint8)
-    return bits
+    if nbits > words.shape[1] * WORD_BITS:
+        raise SimulationError(
+            f"cannot unpack {nbits} bits from {words.shape[1]} word(s)")
+    data = _words_to_le_bytes(words).reshape(nsig, -1)
+    return np.unpackbits(data, axis=1, count=nbits, bitorder="little")
 
 
 def bit_indices(words: np.ndarray, nbits: int) -> list[int]:
-    """Indices of set bits (vector numbers) in a packed 1-D stream."""
-    out: list[int] = []
-    flat = np.asarray(words, dtype=np.uint64).reshape(-1)
-    for w, word in enumerate(flat):
-        word = int(word)
-        base = w * WORD_BITS
-        while word:
-            low = word & -word
-            idx = base + low.bit_length() - 1
-            if idx < nbits:
-                out.append(idx)
-            word ^= low
-    return out
+    """Indices of set bits (vector numbers) in a packed 1-D stream.
+
+    The stream must be tail-masked: a set bit at position >= ``nbits``
+    (tail padding of the last word, or any whole word beyond it) raises
+    :class:`SimulationError` instead of being silently skipped — it
+    means some producer forgot to mask the padding the NOT-like gates
+    flip, and counting code downstream would be corrupted too.
+    """
+    flat = np.ascontiguousarray(np.asarray(words, dtype=np.uint64)
+                                .reshape(-1))
+    nwords = num_words(nbits)
+    head = flat[:nwords]
+    stray = 0
+    if flat.size >= nwords and nwords:
+        stray = int(head[-1] & ~tail_mask(nbits))
+    if flat[nwords:].size:
+        stray |= int(np.bitwise_or.reduce(flat[nwords:]))
+    if stray:
+        raise SimulationError(
+            f"bit_indices: set bits beyond nbits={nbits} "
+            "(unmasked tail padding?)")
+    count = min(nbits, head.size * WORD_BITS)
+    if count == 0:
+        return []
+    bits = np.unpackbits(_words_to_le_bytes(head), count=count,
+                         bitorder="little")
+    return np.flatnonzero(bits).tolist()
 
 
 class PatternSet:
@@ -138,10 +171,9 @@ class PatternSet:
             raise SimulationError(
                 f"refusing exhaustive pattern set for {num_inputs} inputs")
         nbits = 1 << num_inputs
-        bits = np.zeros((num_inputs, nbits), dtype=np.uint8)
-        for v in range(nbits):
-            for i in range(num_inputs):
-                bits[i, v] = (v >> i) & 1
+        codes = np.arange(nbits, dtype=np.uint32)
+        shifts = np.arange(num_inputs, dtype=np.uint32)[:, np.newaxis]
+        bits = ((codes >> shifts) & 1).astype(np.uint8)
         return cls(pack_bits(bits), nbits)
 
     def vector(self, index: int) -> np.ndarray:
@@ -153,13 +185,37 @@ class PatternSet:
                 ).astype(np.uint8)
 
     def concat(self, other: "PatternSet") -> "PatternSet":
-        """Concatenate two pattern sets over the same inputs."""
+        """Concatenate two pattern sets over the same inputs.
+
+        Splices the packed words directly: ``other``'s stream is shifted
+        by ``self.nbits % 64`` across word boundaries and OR-ed in after
+        ``self``'s (tail-masked) last word — no unpack/repack round-trip.
+        """
         if other.num_inputs != self.num_inputs:
             raise SimulationError("input count mismatch in concat")
-        a = unpack_bits(self.words, self.nbits)
-        b = unpack_bits(other.words, other.nbits)
-        both = np.concatenate([a, b], axis=1)
-        return PatternSet(pack_bits(both), self.nbits + other.nbits)
+        n1, n2 = self.nbits, other.nbits
+        total = num_words(n1 + n2)
+        out = np.zeros((self.num_inputs, total), dtype=np.uint64)
+        w1 = self.words.shape[1]
+        out[:, :w1] = self.words
+        if w1:
+            out[:, w1 - 1] &= tail_mask(n1)
+        if n2 == 0:
+            return PatternSet(out, n1 + n2)
+        o = np.array(other.words, dtype=np.uint64, copy=True)
+        o[:, -1] &= tail_mask(n2)
+        rem = n1 % WORD_BITS
+        if rem == 0:
+            out[:, w1:w1 + o.shape[1]] = o
+        else:
+            low = o << np.uint64(rem)           # into the shared word
+            high = o >> np.uint64(WORD_BITS - rem)  # spill into the next
+            out[:, w1 - 1] |= low[:, 0]
+            ndest = total - w1                  # words after the shared one
+            if ndest:
+                out[:, w1:] = high[:, :ndest]
+                out[:, w1:w1 + o.shape[1] - 1] |= low[:, 1:]
+        return PatternSet(out, n1 + n2)
 
     def tail_mask(self) -> np.uint64:
         return tail_mask(self.nbits)

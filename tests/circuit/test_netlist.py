@@ -250,3 +250,86 @@ def test_stats(c17):
     assert stats["inputs"] == 5
     assert stats["outputs"] == 2
     assert stats["depth"] == 3
+
+
+# ----------------------------------------------------------------------
+# derived-structure caching and invalidation
+# ----------------------------------------------------------------------
+def test_cone_caches_are_stable_between_calls():
+    nl = tiny()
+    a = nl.index_of("a")
+    assert nl.sorted_cone(a) is nl.sorted_cone(a)
+    assert nl.fanout_cone(a) is nl.fanout_cone(a)
+    assert nl.event_fanouts() is nl.event_fanouts()
+    assert nl.levels() is nl.levels()
+    assert nl.topo_positions() is nl.topo_positions()
+
+
+def test_sorted_cone_is_topologically_ordered():
+    nl = tiny()
+    a = nl.index_of("a")
+    cone = nl.sorted_cone(a)
+    pos = nl.topo_positions()
+    assert set(cone) == nl.fanout_cone(a)
+    assert list(cone) == sorted(cone, key=pos.__getitem__)
+
+
+def test_mutation_invalidates_cone_and_level_caches():
+    nl = tiny()
+    a = nl.index_of("a")
+    g2 = nl.index_of("g2")
+    before_cone = nl.sorted_cone(a)
+    before_sets = nl.fanout_cone(a)
+    before_ef = nl.event_fanouts()
+    before_lev = nl.levels()
+    # new consumer of g2 must show up in every derived structure
+    g3 = nl.add_gate("g3", GateType.NOT, [g2])
+    nl.set_outputs([g3])
+    after_cone = nl.sorted_cone(a)
+    assert after_cone is not before_cone
+    assert g3 in after_cone
+    after_sets = nl.fanout_cone(a)
+    assert after_sets is not before_sets
+    assert g3 in after_sets
+    after_ef = nl.event_fanouts()
+    assert after_ef is not before_ef
+    assert g3 in after_ef[g2]
+    after_lev = nl.levels()
+    assert after_lev is not before_lev
+    assert after_lev[g3] == before_lev[g2] + 1
+
+
+def test_replace_fanin_pin_invalidates_cones():
+    nl = tiny()
+    a = nl.index_of("a")
+    b = nl.index_of("b")
+    g1 = nl.index_of("g1")
+    assert g1 in nl.fanout_cone(a)
+    nl.replace_fanin_pin(g1, 0, b)  # g1 now reads b twice
+    assert nl.fanout_cone(a) == {a}
+    assert nl.fanout_cone(b) == {b, g1, nl.index_of("g2")}
+    # multi-pin consumer appears once in the deduplicated event fanouts
+    assert nl.event_fanouts()[b] == (g1,)
+    assert nl.fanouts()[b] == [g1, g1]
+
+
+def test_set_fanin_invalidates_event_fanouts():
+    nl = tiny()
+    a = nl.index_of("a")
+    b = nl.index_of("b")
+    g1 = nl.index_of("g1")
+    assert nl.event_fanouts()[a] == (g1,)
+    nl.set_fanin(g1, [b, b])
+    assert nl.event_fanouts()[a] == ()
+    assert nl.event_fanouts()[b] == (g1,)
+
+
+def test_event_fanouts_exclude_dff_sinks():
+    nl = Netlist("seq")
+    a = nl.add_input("a")
+    g = nl.add_gate("g", GateType.NOT, [a])
+    ff = nl.add_gate("ff", GateType.DFF, [g])
+    h = nl.add_gate("h", GateType.BUF, [g])
+    nl.set_outputs([ff, h])
+    assert ff in nl.fanouts()[g]
+    assert nl.event_fanouts()[g] == (h,)

@@ -52,9 +52,25 @@ def test_pack_unpack_roundtrip(nsig, nbits, seed):
 def test_bit_indices():
     words = np.array([0b1011, 0], dtype=np.uint64)
     assert bit_indices(words, 128) == [0, 1, 3]
-    # bits beyond nbits are ignored
+    # unmasked tails are a producer bug and are rejected loudly
     words = np.array([1 << 63], dtype=np.uint64)
-    assert bit_indices(words, 10) == []
+    with pytest.raises(SimulationError, match="beyond nbits"):
+        bit_indices(words, 10)
+    # ... including whole words beyond num_words(nbits)
+    words = np.array([1, 1], dtype=np.uint64)
+    with pytest.raises(SimulationError, match="beyond nbits"):
+        bit_indices(words, 64)
+    assert bit_indices(np.array([1, 0], dtype=np.uint64), 64) == [0]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(1, 150), st.integers(0, 2**31))
+def test_bit_indices_matches_loop(nbits, seed):
+    rng = np.random.default_rng(seed)
+    bits = (rng.random(nbits) < 0.3).astype(np.uint8)
+    packed = pack_bits(bits)[0]
+    expected = [i for i in range(nbits) if bits[i]]
+    assert bit_indices(packed, nbits) == expected
 
 
 def test_pattern_set_from_vectors():
@@ -104,6 +120,39 @@ def test_pattern_set_concat():
     mismatched = PatternSet.from_vectors([[1, 0, 1]])
     with pytest.raises(SimulationError):
         a.concat(mismatched)
+
+
+@pytest.mark.parametrize("n1,n2", [
+    (1, 1), (63, 1), (1, 63), (63, 65), (65, 63), (37, 91),
+    (64, 64), (64, 3), (3, 64), (100, 28), (127, 129),
+])
+def test_pattern_set_concat_unaligned(n1, n2):
+    """Packed-word splicing agrees with bit-level concatenation when
+    neither side is a multiple of 64."""
+    rng = np.random.default_rng(n1 * 1000 + n2)
+    a_bits = (rng.random((3, n1)) < 0.5).astype(np.uint8)
+    b_bits = (rng.random((3, n2)) < 0.5).astype(np.uint8)
+    a = PatternSet(pack_bits(a_bits), n1)
+    b = PatternSet(pack_bits(b_bits), n2)
+    both = a.concat(b)
+    assert both.nbits == n1 + n2
+    expected = np.concatenate([a_bits, b_bits], axis=1)
+    assert np.array_equal(unpack_bits(both.words, n1 + n2), expected)
+    # tail padding of the result is clean
+    assert int(both.words[:, -1].max() & ~both.tail_mask()) == 0
+
+
+def test_pattern_set_concat_ignores_dirty_tails():
+    """Junk in either operand's tail padding must not leak through."""
+    a = PatternSet.random(2, 37, seed=5)
+    b = PatternSet.random(2, 91, seed=6)
+    expected = a.concat(b)
+    wa = a.words.copy()
+    wa[:, -1] |= ~np.uint64(tail_mask(37))
+    wb = b.words.copy()
+    wb[:, -1] |= ~np.uint64(tail_mask(91))
+    got = PatternSet(wa, 37).concat(PatternSet(wb, 91))
+    assert np.array_equal(got.words, expected.words)
 
 
 def test_pattern_set_shape_validation():
