@@ -1,0 +1,224 @@
+"""Dataflow-analysis benchmarks (the ``BENCH_analyze.json`` suite).
+
+Two measurements per circuit:
+
+* **facts timing** — wall time to materialize each fact section
+  (ternary constants, structural hashes, dominators/ODCs, implication
+  closure) on a fresh :class:`NetlistFacts`.
+* **suspect-set reduction** — how many path-trace-marked suspect lines
+  the static pre-screen removes before the per-candidate simulation
+  screen runs, on a seeded two-fault workload.
+
+Run as a script (``python benchmarks/bench_analyze.py [--smoke]``) it
+regenerates ``BENCH_analyze.json``; under pytest-benchmark it times the
+same workloads per circuit.
+"""
+
+import time
+
+import pytest
+
+from conftest import SCALE
+from repro.analyze.dataflow import NetlistFacts
+from repro.circuit import GateType, Netlist, generators
+from repro.diagnose import DiagnosisState, path_trace_counts
+from repro.diagnose.pathtrace import marked_lines
+from repro.diagnose.screening import prescreen_suspects
+from repro.faults import inject_stuck_at_faults
+from repro.sim import PatternSet, output_rows, simulate
+
+CIRCUITS = ("c17", "r432", "r880", "r1355", "masked24")
+SMOKE_CIRCUITS = ("c17", "masked24")
+VECTORS = 512
+SCHEMA = "repro.bench_analyze/1"
+
+
+def masked_parity_chain(width: int = 8, depth: int = 24) -> Netlist:
+    """Parity chain with one ODC-masked AND cone per stage.
+
+    The masked gates sit behind a dominator whose side input is a
+    buffered constant 0, yet every failing XOR path drags them into the
+    path-trace suspect set — the workload the static pre-screen exists
+    to prune.  ISCAS-style circuits are irredundant, so they measure the
+    pre-screen's overhead; this one measures its payoff.
+    """
+    nl = Netlist(f"masked{depth}")
+    xs = [nl.add_input(f"x{i}") for i in range(width)]
+    c0 = nl.add_gate("c0", GateType.CONST0, [])
+    buf = nl.add_gate("buf", GateType.BUF, [c0])
+    acc = xs[0]
+    for d in range(depth):
+        mid = nl.add_gate(f"mid{d}", GateType.NOT, [xs[d % width]])
+        dom = nl.add_gate(f"dom{d}", GateType.AND, [mid, buf])
+        mix = nl.add_gate(f"mix{d}", GateType.XOR,
+                          [acc, xs[(d + 1) % width]])
+        acc = nl.add_gate(f"acc{d}", GateType.XOR, [dom, mix])
+    nl.set_outputs([acc])
+    return nl
+
+
+def build_circuit(name: str) -> Netlist:
+    if name.startswith("masked"):
+        return masked_parity_chain(depth=int(name[len("masked"):]))
+    return generators.by_name(name, scale=SCALE)
+
+
+def facts_record(circuit) -> dict:
+    """Time each fact section on a fresh digest of ``circuit``."""
+    record = {"suite": "facts", "circuit": circuit.name,
+              "gates": len(circuit.gates)}
+    facts = NetlistFacts(circuit)
+    for key, section in (
+            ("constants_s", facts.constants),
+            ("hashes_s", facts.duplicate_groups),
+            ("dominators_s", lambda: facts.blocked_signals()),
+            ("implications_s", facts.implications)):
+        t0 = time.perf_counter()
+        section()
+        record[key] = time.perf_counter() - t0
+    record["implications"] = facts.implications().edge_count()
+    record["known_constants"] = len(facts.known_constants(deep=True))
+    record["odc_blocked"] = len(facts.blocked_signals(deep=True))
+    return record
+
+
+def prescreen_record(circuit, nvectors: int = VECTORS,
+                     seed: int = 1) -> dict:
+    """Suspect counts before/after the static pre-screen."""
+    workload = inject_stuck_at_faults(circuit, 2, seed=seed)
+    patterns = PatternSet.random(circuit.num_inputs, nvectors, seed=0)
+    device_out = output_rows(workload.impl,
+                             simulate(workload.impl, patterns))
+    state = DiagnosisState(circuit, patterns, device_out)
+    counts = path_trace_counts(state, 24, seed)
+    lines = marked_lines(counts)
+    t0 = time.perf_counter()
+    kept, dropped = prescreen_suspects(state, lines, deep=True)
+    wall = time.perf_counter() - t0
+    return {"suite": "prescreen", "circuit": circuit.name,
+            "gates": len(circuit.gates), "nvectors": nvectors,
+            "suspects_before": len(lines), "suspects_after": len(kept),
+            "dropped": dropped, "wall_s": wall}
+
+
+def run_suites(smoke: bool = False) -> dict:
+    names = SMOKE_CIRCUITS if smoke else CIRCUITS
+    records = []
+    for name in names:
+        circuit = build_circuit(name)
+        records.append(facts_record(circuit))
+        records.append(prescreen_record(
+            circuit, nvectors=128 if smoke else VECTORS))
+    return {"schema": SCHEMA, "smoke": smoke, "records": records}
+
+
+def validate_payload(payload: dict) -> list:
+    errors = []
+    if payload.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA}")
+    for record in payload.get("records", ()):
+        suite = record.get("suite")
+        if suite == "facts":
+            required = ("circuit", "gates", "constants_s", "hashes_s",
+                        "dominators_s", "implications_s", "implications")
+        elif suite == "prescreen":
+            required = ("circuit", "gates", "suspects_before",
+                        "suspects_after", "dropped", "wall_s")
+        else:
+            errors.append(f"unknown suite {suite!r}")
+            continue
+        for key in required:
+            if key not in record:
+                errors.append(f"{suite}/{record.get('circuit')}: "
+                              f"missing {key}")
+        if (suite == "prescreen" and "suspects_after" in record
+                and record["suspects_after"] + record.get("dropped", 0)
+                != record.get("suspects_before")):
+            errors.append(f"prescreen/{record.get('circuit')}: "
+                          "kept + dropped != before")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module", params=CIRCUITS)
+def circuit(request):
+    return build_circuit(request.param)
+
+
+def test_facts_digest(benchmark, circuit):
+    def build():
+        facts = NetlistFacts(circuit)
+        facts.summary(deep=True)
+        return facts
+
+    facts = build()  # warm result for extra_info
+    benchmark(build)
+    benchmark.extra_info.update({
+        "circuit": circuit.name, "gates": len(circuit.gates),
+        "implications": facts.implications().edge_count(),
+    })
+
+
+def test_prescreen_reduction(benchmark, circuit):
+    workload = inject_stuck_at_faults(circuit, 2, seed=1)
+    patterns = PatternSet.random(circuit.num_inputs, VECTORS, seed=0)
+    device_out = output_rows(workload.impl,
+                             simulate(workload.impl, patterns))
+    state = DiagnosisState(circuit, patterns, device_out)
+    counts = path_trace_counts(state, 24, 1)
+    lines = marked_lines(counts)
+    kept, dropped = benchmark(prescreen_suspects, state, lines,
+                              deep=True)
+    assert len(kept) + dropped == len(lines)
+    benchmark.extra_info.update({
+        "circuit": circuit.name, "suspects_before": len(lines),
+        "suspects_after": len(kept),
+    })
+
+
+def test_bench_payload_schema():
+    payload = run_suites(smoke=True)
+    assert validate_payload(payload) == []
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="regenerate BENCH_analyze.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced circuits/vectors for CI")
+    parser.add_argument("--out", default="BENCH_analyze.json")
+    args = parser.parse_args(argv)
+    payload = run_suites(smoke=args.smoke)
+    errors = validate_payload(payload)
+    if errors:
+        for err in errors:
+            print(f"schema: {err}")
+        return 2
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for record in payload["records"]:
+        if record["suite"] == "facts":
+            print(f"{record['circuit']:>8}: facts "
+                  f"const={record['constants_s'] * 1e3:.2f}ms "
+                  f"hash={record['hashes_s'] * 1e3:.2f}ms "
+                  f"dom={record['dominators_s'] * 1e3:.2f}ms "
+                  f"impl={record['implications_s'] * 1e3:.2f}ms "
+                  f"({record['implications']} implications)")
+        else:
+            print(f"{record['circuit']:>8}: prescreen "
+                  f"{record['suspects_before']} -> "
+                  f"{record['suspects_after']} suspects "
+                  f"({record['dropped']} dropped, "
+                  f"{record['wall_s'] * 1e3:.2f}ms)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

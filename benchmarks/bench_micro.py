@@ -98,6 +98,35 @@ def test_optimize_area_speed(benchmark):
     assert len(optimized.gates) <= len(circuit.gates)
 
 
+def test_netlist_facts_build(benchmark, alu):
+    """Full dataflow digest (constants, hashes, implications, ODCs)."""
+    from repro.analyze.dataflow import NetlistFacts
+
+    def build():
+        facts = NetlistFacts(alu)   # bypass the per-netlist cache
+        facts.summary(deep=True)
+        return facts
+
+    facts = benchmark(build)
+    benchmark.extra_info["gates"] = len(alu.gates)
+    benchmark.extra_info["implications"] = \
+        facts.implications().edge_count()
+
+
+def test_netlist_facts_shallow_sections(benchmark, alu):
+    """Ternary constants + dominators only — the per-node prescreen cost."""
+    from repro.analyze.dataflow import NetlistFacts
+
+    def build():
+        facts = NetlistFacts(alu)
+        facts.constants()
+        facts.blocked_signals()
+        return facts
+
+    benchmark(build)
+    benchmark.extra_info["gates"] = len(alu.gates)
+
+
 def test_diagnosis_state_build(benchmark, alu, patterns):
     workload = inject_stuck_at_faults(alu, 2, seed=1)
     device_out = output_rows(workload.impl,

@@ -2,11 +2,18 @@
 
 A static-analysis engine over :class:`~repro.circuit.netlist.Netlist`:
 
-* a :class:`RuleRegistry` of ~15 built-in rules in two groups —
+* a :class:`RuleRegistry` of built-in rules in three groups —
   *structural* (index/arity/name-map integrity, interface presence;
-  these supersede the old ``circuit/validate.py`` checks) and
-  *semantic* (combinational loops with the cycle printed, dead cones,
-  unobservable lines, constant feeds, foldable logic, inverter chains);
+  these supersede the old ``circuit/validate.py`` checks), *semantic*
+  (combinational loops with the cycle printed, dead cones,
+  unobservable lines, constant feeds, foldable logic, inverter chains)
+  and *deep* (dataflow-backed: provably-constant lines, duplicate
+  logic, ODC-masked lines; opt-in via ``lint_netlist(deep=True)``);
+* :mod:`~repro.analyze.dataflow` — an SCC-scheduled worklist
+  fixed-point engine with four analyses (ternary constants,
+  structural-hash equivalence, implication closure,
+  dominators + ODCs), bundled as :class:`NetlistFacts` and cached on
+  the netlist;
 * severity levels (error / warning / info) with per-rule suppression;
 * text and JSON reporters (:class:`LintReport`);
 * :class:`InvariantChecker`, a debug-mode guard over the engine's
@@ -19,19 +26,26 @@ Entry points: :func:`lint_netlist` (library), ``repro lint`` (CLI),
 
 from .core import (AnalysisContext, DEFAULT_REGISTRY, Diagnostic, Rule,
                    RuleRegistry, Severity)
+from .dataflow import (DataflowDomain, Implications, NetlistFacts,
+                       OdcCondition, TernaryConstants, netlist_facts,
+                       run_dataflow)
 from .invariants import InvariantChecker
-from .lint import (GROUP_ORDER, LOAD_POLICIES, get_load_lint_policy,
-                   lint_netlist, lint_on_load, set_load_lint_policy)
+from .lint import (DEFAULT_GROUPS, GROUP_ORDER, LOAD_POLICIES,
+                   get_load_lint_policy, lint_netlist, lint_on_load,
+                   set_load_lint_policy)
 from .report import LintReport
 
 # Importing the rule modules registers the built-in rules.
-from . import rules_structural, rules_semantic  # noqa: E402,F401
+from . import rules_structural, rules_semantic, rules_deep  # noqa: E402,F401
 
 __all__ = [
     "AnalysisContext", "DEFAULT_REGISTRY", "Diagnostic", "Rule",
     "RuleRegistry", "Severity",
+    "DataflowDomain", "Implications", "NetlistFacts", "OdcCondition",
+    "TernaryConstants", "netlist_facts", "run_dataflow",
     "InvariantChecker",
-    "GROUP_ORDER", "LOAD_POLICIES", "get_load_lint_policy",
-    "lint_netlist", "lint_on_load", "set_load_lint_policy",
+    "DEFAULT_GROUPS", "GROUP_ORDER", "LOAD_POLICIES",
+    "get_load_lint_policy", "lint_netlist", "lint_on_load",
+    "set_load_lint_policy",
     "LintReport",
 ]

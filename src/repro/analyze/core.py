@@ -2,7 +2,8 @@
 
 A *rule* is a named check over a :class:`~repro.circuit.netlist.Netlist`
 that yields :class:`Diagnostic` records.  Rules belong to a *group*
-(``structural`` or ``semantic``) and carry a default :class:`Severity`.
+(``structural``, ``semantic`` or ``deep``) and carry a default
+:class:`Severity`.
 The :class:`RuleRegistry` holds every known rule; the module-level
 :data:`DEFAULT_REGISTRY` is what the lint driver and the ``validate()``
 shim use.
@@ -18,9 +19,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from ..circuit.netlist import Netlist
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .dataflow import NetlistFacts
 
 
 class Severity(enum.IntEnum):
@@ -88,6 +92,15 @@ class AnalysisContext:
             self._live = self.netlist.live_set()
         return self._live
 
+    def facts(self) -> "NetlistFacts":
+        """The netlist's dataflow facts (cached on the netlist itself).
+
+        Everything in the bundle is computed with cycle-safe SCC
+        scheduling, so rules may use it even on looped netlists.
+        """
+        from .dataflow import netlist_facts
+        return netlist_facts(self.netlist)
+
 
 #: Signature every rule check implements.
 CheckFn = Callable[[AnalysisContext], Iterable[Diagnostic]]
@@ -99,7 +112,7 @@ class Rule:
 
     Attributes:
         id: stable kebab-case identifier (used for suppression).
-        group: ``structural`` or ``semantic``.
+        group: ``structural``, ``semantic`` or ``deep``.
         severity: default severity of this rule's diagnostics.
         description: one-line summary for ``repro lint --list-rules``.
         check: the function producing diagnostics.

@@ -4,7 +4,9 @@ Two layers:
 
 * :func:`lint_netlist` — the library API.  Runs structural rules first
   and gates the semantic group on their outcome (semantic traversals
-  assume in-range indices).
+  assume in-range indices); the dataflow-backed ``deep`` group is
+  opt-in (``deep=True``) and gated on the earlier groups being
+  error-free.
 * :func:`lint_on_load` — the hook ``bench_io``/``verilog_io`` call
   after parsing, governed by a process-wide *load policy*:
 
@@ -29,7 +31,11 @@ from .core import (AnalysisContext, DEFAULT_REGISTRY, RuleRegistry,
 from .report import LintReport
 
 #: Rule-group execution order; later groups require earlier ones clean.
-GROUP_ORDER = ("structural", "semantic")
+#: ``deep`` (dataflow-backed rules) is opt-in via ``deep=True``.
+GROUP_ORDER = ("structural", "semantic", "deep")
+
+#: Groups run when the caller does not ask for anything special.
+DEFAULT_GROUPS = ("structural", "semantic")
 
 LOAD_POLICIES = ("off", "errors", "warn", "strict")
 
@@ -56,7 +62,8 @@ def set_load_lint_policy(policy: str) -> str:
 def lint_netlist(netlist: Netlist,
                  registry: RuleRegistry | None = None,
                  suppress: Iterable[str] = (),
-                 groups: Iterable[str] | None = None) -> LintReport:
+                 groups: Iterable[str] | None = None,
+                 deep: bool = False) -> LintReport:
     """Run every (non-suppressed) rule and collect the findings.
 
     Args:
@@ -64,14 +71,23 @@ def lint_netlist(netlist: Netlist,
         registry: rule set (default: the built-in registry).
         suppress: rule ids to skip; unknown ids raise ``KeyError`` so
             typos don't silently disable nothing.
-        groups: restrict to these rule groups (default: all, in
-            :data:`GROUP_ORDER`).
+        groups: restrict to these rule groups (default:
+            :data:`DEFAULT_GROUPS`, plus ``deep`` when requested).
+        deep: also run the dataflow-backed ``deep`` group (provable
+            constants, duplicate logic, ODC-masked lines).  These rules
+            compute fixed points over the netlist and cost noticeably
+            more than the shallow sweeps, hence opt-in.
     """
     registry = registry or DEFAULT_REGISTRY
     suppressed = list(suppress)
     for rule_id in suppressed:
         registry.get(rule_id)  # raises KeyError on unknown ids
-    wanted = tuple(groups) if groups is not None else GROUP_ORDER
+    if groups is not None:
+        wanted = tuple(groups)
+        if deep and "deep" not in wanted:
+            wanted = wanted + ("deep",)
+    else:
+        wanted = GROUP_ORDER if deep else DEFAULT_GROUPS
     report = LintReport(netlist.name, suppressed=suppressed)
     ctx = AnalysisContext(netlist)
     for group in GROUP_ORDER:

@@ -81,12 +81,22 @@ class LintReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
+        """JSON-ready form with fully deterministic ordering.
+
+        Diagnostics are sorted by (rule, gate, message) — not left in
+        rule-registration order — so byte-identical output survives
+        rule reordering and makes CI diffs reproducible.  Every entry
+        carries its severity; the netlist name is at the top level.
+        """
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (d.rule, d.gate or "", d.message))
         return {
             "netlist": self.netlist_name,
             "counts": self.counts(),
-            "diagnostics": [d.to_dict() for d in self.diagnostics],
-            "skipped_groups": list(self.skipped_groups),
-            "suppressed": list(self.suppressed),
+            "diagnostics": [d.to_dict() for d in ordered],
+            "skipped_groups": sorted(self.skipped_groups),
+            "suppressed": sorted(self.suppressed),
         }
 
     def to_json(self, indent: int | None = 2) -> str:

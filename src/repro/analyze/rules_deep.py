@@ -1,0 +1,115 @@
+"""Deep rules: findings that need the dataflow fixed points.
+
+These consume :class:`~repro.analyze.dataflow.NetlistFacts` — ternary
+constants, the implication closure, structural-hash classes and
+dominator/ODC sets — and therefore cost more than a graph sweep.  They
+run only under ``repro lint --deep`` (or ``lint_netlist(deep=True)``)
+and only once the structural and semantic groups report no errors.
+
+Each rule proves something the shallow rules merely approximate:
+
+* ``const-line`` — the line's *value* is fixed for every input vector,
+  even when no ``CONST`` gate is anywhere near it (implication
+  contradictions prove ``AND(a, NOT a) = 0``; hash cancellation proves
+  ``XOR(g, g) = 0``);
+* ``duplicate-logic`` — two gates compute the identical function under
+  input reordering, duplicate-operand folding and De Morgan phase
+  normalization, not merely the same gate type over the same wires;
+* ``odc-unobservable`` — the line reaches a primary output, but every
+  path is statically blocked by a dominator whose side input provably
+  carries the controlling value, so no fault *effect* ever gets
+  through.  ``unobservable-line`` only catches the no-path case.
+
+Constant and blocked lines matter to diagnosis directly: a correction
+on such a line can never change a primary output on any vector, so the
+search keeps resimulating a suspect that cannot explain anything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..circuit.gatetypes import SOURCE_TYPES, GateType
+from .core import AnalysisContext, DEFAULT_REGISTRY, Diagnostic, Severity
+
+_rule = DEFAULT_REGISTRY.rule
+
+
+def _proof_of(facts, index: int) -> str:
+    """Which analysis established the constant (for the report)."""
+    if index in facts.constants():
+        return "ternary-propagation"
+    if index in facts.implications().implied_constants:
+        return "implication-contradiction"
+    return "structural-hash"
+
+
+@_rule("const-line", "deep", Severity.WARNING,
+       "no live line is provably constant over all input vectors "
+       "(constants, implications and hashing combined)")
+def check_const_line(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    facts = ctx.facts()
+    live = ctx.live()
+    gates = ctx.netlist.gates
+    for index, value in sorted(facts.known_constants(deep=True).items()):
+        gate = gates[index]
+        if gate.gtype in SOURCE_TYPES or index not in live:
+            continue  # declared constants and dead logic have own rules
+        proof = _proof_of(facts, index)
+        yield Diagnostic(
+            "const-line", Severity.WARNING,
+            f"line {gate.name!r} ({gate.gtype.name}) is provably "
+            f"constant {value} on every input vector "
+            f"(proof: {proof}); any correction there is "
+            f"indistinguishable from a constant swap",
+            gate=gate.name, data={"value": value, "proof": proof})
+
+
+@_rule("duplicate-logic", "deep", Severity.WARNING,
+       "no two live gates compute the identical function (under input "
+       "sorting and negation normalization)")
+def check_duplicate_logic(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    facts = ctx.facts()
+    live = ctx.live()
+    names = [g.name for g in ctx.netlist.gates]
+    for group in facts.duplicate_groups():
+        members = [i for i in group if i in live]
+        if len(members) < 2:
+            continue
+        pretty = [names[i] for i in members]
+        yield Diagnostic(
+            "duplicate-logic", Severity.WARNING,
+            f"gates {pretty} compute the identical function; duplicated "
+            f"logic doubles the suspect space without adding "
+            f"diagnosability", gate=pretty[0], data={"gates": pretty})
+
+
+@_rule("odc-unobservable", "deep", Severity.WARNING,
+       "no live line is fully masked by static ODC conditions "
+       "(constant controlling side input on a dominator)")
+def check_odc_unobservable(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    facts = ctx.facts()
+    live = ctx.live()
+    gates = ctx.netlist.gates
+    consts = facts.known_constants(deep=True)
+    for index in sorted(facts.blocked_signals(deep=True)):
+        gate = gates[index]
+        if index not in live or gate.gtype is GateType.DFF:
+            continue
+        if index in consts or gate.gtype in (GateType.CONST0,
+                                             GateType.CONST1):
+            continue  # constant lines are reported by const-line
+        witness = next(
+            cond for cond in facts.odc_conditions(index)
+            if consts.get(cond.side_input) == cond.ctrl)
+        dom_name = gates[witness.dominator].name
+        side_name = gates[witness.side_input].name
+        yield Diagnostic(
+            "odc-unobservable", Severity.WARNING,
+            f"line {gate.name!r} reaches a primary output only through "
+            f"dominator {dom_name!r}, whose side input {side_name!r} is "
+            f"provably constant {witness.ctrl} (its controlling value); "
+            f"no change on the line is ever observable",
+            gate=gate.name,
+            data={"dominator": dom_name, "side_input": side_name,
+                  "controlling_value": witness.ctrl})

@@ -4,7 +4,10 @@ suspicious or breaks an assumption of the diagnosis algorithm.
 These run only after the structural group passes with no errors — their
 graph traversals require in-range indices.  None of them calls
 ``topo_order()``; every traversal here is cycle-safe so that
-``comb-loop`` can *report* a loop instead of crashing on it.
+``comb-loop`` can *report* a loop instead of crashing on it.  The
+observability and constant facts come from the shared dataflow bundle
+(:meth:`AnalysisContext.facts`), whose SCC-scheduled fixed points are
+cycle-safe by construction.
 
 The observability rule is the one with direct diagnostic weight: the
 path-trace phase (§3.1) marks lines by walking back from erroneous
@@ -22,8 +25,6 @@ from ..circuit.gatetypes import GateType, UNARY_TYPES
 from .core import AnalysisContext, DEFAULT_REGISTRY, Diagnostic, Severity
 
 _rule = DEFAULT_REGISTRY.rule
-
-_CONSTS = (GateType.CONST0, GateType.CONST1)
 
 
 def find_cycles(ctx: AnalysisContext) -> list[list[int]]:
@@ -114,30 +115,12 @@ def check_dead_gates(ctx: AnalysisContext) -> Iterator[Diagnostic]:
             f"it", gate=gate.name, data={"index": gate.index})
 
 
-def observable_set(ctx: AnalysisContext) -> set[int]:
-    """Gates whose output has a *combinational* path to a primary
-    output.  Walks fanin edges back from the POs without expanding DFF
-    fanins (a DFF breaks the combinational path)."""
-    netlist = ctx.netlist
-    obs: set[int] = set()
-    stack = [o for o in netlist.outputs]
-    while stack:
-        node = stack.pop()
-        if node in obs:
-            continue
-        obs.add(node)
-        gate = netlist.gates[node]
-        if gate.gtype is not GateType.DFF:
-            stack.extend(gate.fanin)
-    return obs
-
-
 @_rule("unobservable-line", "semantic", Severity.WARNING,
        "every live line has a combinational path to a primary output "
        "(else path-trace can never mark it)")
 def check_unobservable(ctx: AnalysisContext) -> Iterator[Diagnostic]:
     live = ctx.live()
-    obs = observable_set(ctx)
+    obs = ctx.facts().observable_set()
     for gate in ctx.netlist.gates:
         if gate.index not in live or gate.index in obs:
             continue
@@ -150,19 +133,32 @@ def check_unobservable(ctx: AnalysisContext) -> Iterator[Diagnostic]:
 
 
 @_rule("const-feed", "semantic", Severity.WARNING,
-       "logic gates are not fed by constants (foldable logic distorts "
-       "diagnosis resolution)")
+       "logic gates are not fed by (provably) constant signals "
+       "(foldable logic distorts diagnosis resolution)")
 def check_const_feed(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    """Fed-by-constant check, on the ternary propagation facts.
+
+    This sees through buffers and downstream logic — a gate fed by
+    ``AND(x, CONST0)`` is flagged just like one fed by ``CONST0``
+    directly — which the old syntactic gate-type test could not.
+    """
     netlist = ctx.netlist
+    consts = ctx.facts().constants()
     for gate in netlist.gates:
-        const_pins = [pin for pin, src in enumerate(gate.fanin)
-                      if netlist.gates[src].gtype in _CONSTS]
-        if const_pins and gate.gtype is not GateType.DFF:
+        if gate.gtype is GateType.DFF:
+            continue
+        const_pins = [(pin, consts[src])
+                      for pin, src in enumerate(gate.fanin)
+                      if src in consts]
+        if const_pins:
+            pins = [pin for pin, _ in const_pins]
             yield Diagnostic(
                 "const-feed", Severity.WARNING,
-                f"gate {gate.name!r} ({gate.gtype.name}) has constant "
-                f"fanin on pin(s) {const_pins}; the gate is foldable",
-                gate=gate.name, data={"pins": const_pins})
+                f"gate {gate.name!r} ({gate.gtype.name}) has provably "
+                f"constant fanin on pin(s) {pins}; the gate is foldable",
+                gate=gate.name,
+                data={"pins": pins,
+                      "values": [v for _, v in const_pins]})
 
 
 @_rule("foldable-logic", "semantic", Severity.INFO,

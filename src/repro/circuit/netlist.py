@@ -63,6 +63,9 @@ class Netlist:
         # Flat per-gate tables owned by repro.sim.logicsim (built lazily
         # there, invalidated here with the other derived caches).
         self._sim_tables: tuple | None = None
+        # Static-analysis facts owned by repro.analyze.dataflow (built
+        # lazily there, invalidated here with the other derived caches).
+        self._facts: object | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -350,6 +353,7 @@ class Netlist:
         self._sorted_cones.clear()
         self._cone_sets.clear()
         self._sim_tables = None
+        self._facts = None
 
     def set_gate_type(self, index: int, gtype: GateType) -> None:
         """Replace the function of gate ``index`` keeping its fanin."""

@@ -7,7 +7,8 @@ Subcommands::
     repro ablation [--errors K] ...
     repro diagnose SPEC.bench IMPL.bench [--mode stuck-at|design-error]
     repro bench [--smoke] [--out BENCH_sim.json] [--check FILE]
-    repro lint FILE [FILE...] [--format json] [--strict] [--suppress r1,r2]
+    repro lint FILE [FILE...] [--format json] [--strict] [--deep] ...
+    repro facts FILE [FILE...] [--format json] [--no-deep]
     repro inject SPEC.bench OUT.bench (--faults K | --errors K) [--seed N]
     repro compare [--faults 1,2]     # engine vs SAT vs dictionary
     repro convert IN.bench OUT.v     # netlist format conversion
@@ -159,7 +160,8 @@ def cmd_lint(args) -> int:
             worst = max(worst, 2)
             continue
         try:
-            report = lint_netlist(netlist, suppress=suppress)
+            report = lint_netlist(netlist, suppress=suppress,
+                                  deep=args.deep)
         except KeyError as exc:
             sys.exit(f"repro lint: {exc.args[0]}")
         if args.format == "json":
@@ -169,6 +171,42 @@ def cmd_lint(args) -> int:
         worst = max(worst, report.exit_code(strict=args.strict))
     if args.format == "json":
         print(json.dumps(json_reports, indent=2))
+    return worst
+
+
+def cmd_facts(args) -> int:
+    """Dataflow facts digest.  Exit codes: 0 ok, 2 unreadable input."""
+    from .analyze import netlist_facts
+    from .errors import ReproError
+
+    worst = 0
+    digests = []
+    for path in args.files:
+        try:
+            netlist = _load_any(path, lint="off")
+        except (ReproError, OSError) as exc:
+            print(f"{path}: error: {exc}", file=sys.stderr)
+            worst = 2
+            continue
+        digests.append(netlist_facts(netlist).summary(deep=not args.no_deep))
+    if args.format == "json":
+        print(json.dumps(digests, indent=2))
+        return worst
+    for digest in digests:
+        print(f"{digest['netlist']}: {digest['gates']} gates")
+        for key in ("constants", "implied_constants"):
+            if digest[key]:
+                pretty = ", ".join(f"{name}={value}" for name, value
+                                   in digest[key].items())
+                print(f"  {key.replace('_', ' ')}: {pretty}")
+        for group in digest["duplicate_groups"]:
+            print(f"  duplicate logic: {' == '.join(group)}")
+        if digest["unobservable"]:
+            print(f"  unobservable: {', '.join(digest['unobservable'])}")
+        if digest["odc_blocked"]:
+            print(f"  odc-blocked: {', '.join(digest['odc_blocked'])}")
+        if "implications" in digest:
+            print(f"  closed implications: {digest['implications']}")
     return worst
 
 
@@ -310,9 +348,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit nonzero on warnings too")
     p.add_argument("--suppress", default="",
                    help="comma-separated rule ids to skip")
+    p.add_argument("--deep", action="store_true",
+                   help="also run the dataflow-backed deep rules "
+                        "(provable constants, duplicate logic, "
+                        "ODC-masked lines)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule table and exit")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("facts",
+                       help="dataflow facts digest (constants, "
+                            "equivalences, implications, ODCs)")
+    p.add_argument("files", nargs="+",
+                   help=".bench or .v netlist files")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--no-deep", action="store_true",
+                   help="skip the implication closure (cheaper)")
+    p.set_defaults(func=cmd_facts)
 
     p = sub.add_parser("convert",
                        help="convert between .bench and .v")

@@ -95,6 +95,13 @@ class DiagnosisConfig:
         max_nodes: hard cap on decision-tree nodes per search level.
         max_rounds: hard cap on rounds (paper observes <=6 typical, 9 for
             c1355/c880-like circuits, allowing up to 256 nodes).
+        static_prescreen: drop suspects that are statically
+            unobservable or ODC-blocked (dominator side input provably
+            at its controlling value) before Heuristic 1 runs — see
+            :func:`repro.diagnose.screening.prescreen_suspects`.  Each
+            dropped suspect is a proven per-vector no-op at every
+            primary output; the screen is re-derived per tree node from
+            the (cached) dataflow facts of that node's netlist.
         theorem1_safety: multiply the Theorem 1 bound in exact mode
             (<1 loosens the screen; 1.0 is the proven bound).
         h3_exact: heuristic-3 threshold in exact mode (0 disables the
@@ -117,6 +124,7 @@ class DiagnosisConfig:
     corrections_per_node: int = 24
     max_nodes: int = 4000
     max_rounds: int = 9
+    static_prescreen: bool = True
     theorem1_safety: float = 1.0
     h3_exact: float = 0.0
     schedule: list = field(default_factory=list)

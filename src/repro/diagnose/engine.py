@@ -45,7 +45,7 @@ from .config import DiagnosisConfig, Mode
 from .pathtrace import marked_lines, path_trace_counts
 from .report import (CorrectionRecord, DiagnosisResult, EngineStats,
                      Solution)
-from .screening import screen_verr, theorem1_bound
+from .screening import prescreen_suspects, screen_verr, theorem1_bound
 from .tree import DecisionTree
 
 
@@ -181,6 +181,10 @@ class IncrementalDiagnoser:
             counts = path_trace_counts(state, config.pathtrace_samples,
                                        config.seed)
             lines = marked_lines(counts)
+            if config.static_prescreen:
+                lines, dropped = prescreen_suspects(state, lines,
+                                                    deep=not applied)
+                stats.prescreen_dropped += dropped
             stats.diag_time += time.perf_counter() - t0
             if self.invariants:
                 self.invariants.check_theorem1(state.num_err, remaining)

@@ -75,6 +75,7 @@ class EngineStats:
     total_time: float = 0.0
     levels_tried: list = field(default_factory=list)  # "N=2 h=0.3/0.7/0.95"
     truncated: bool = False   # hit the node budget
+    prescreen_dropped: int = 0  # suspects removed by the static pre-screen
 
     def merge(self, other: "EngineStats") -> None:
         self.nodes += other.nodes
@@ -85,6 +86,7 @@ class EngineStats:
         self.total_time += other.total_time
         self.levels_tried.extend(other.levels_tried)
         self.truncated = self.truncated or other.truncated
+        self.prescreen_dropped += other.prescreen_dropped
 
 
 @dataclass

@@ -1,4 +1,9 @@
-"""Correction screening: Theorem 1 and heuristics 2 & 3.
+"""Correction screening: static pre-screen, Theorem 1, heuristics 2 & 3.
+
+**Static pre-screen**: before any heuristic runs, suspects whose
+complement provably cannot reach a primary output — unobservable or
+ODC-blocked per the dataflow facts — are dropped without a single
+simulation (:func:`prescreen_suspects`).
 
 **Theorem 1** (§3.2): among the lines l1..lN of any valid correction set,
 the largest excitation set Vi has at least ``|V| / N`` vectors — so at
@@ -27,6 +32,55 @@ from ..errors import InjectionError
 from ..faults.models import Correction, corrected_line_words
 from ..sim.packing import popcount
 from .bitlists import DiagnosisState, OverrideOutcome
+
+
+def prescreen_suspects(state: DiagnosisState, lines,
+                       deep: bool = False) -> tuple[list, int]:
+    """Static suspect pre-screen: drop lines no correction can excite.
+
+    Runs *before* Heuristic 1, on the dataflow facts of the node's
+    netlist (:func:`repro.analyze.dataflow.netlist_facts` — cached on
+    the netlist, so repeated expansions of one node pay nothing).  A
+    suspect line is dropped when its driver signal
+
+    * has no combinational path to any primary output, or
+    * is ODC-blocked: some dominator of the signal has a side input,
+      outside the signal's fanout cone, that provably carries the
+      dominator's controlling value on every vector.
+
+    Both conditions imply the complement of the line changes **no
+    primary output on any input vector** (the side input is outside the
+    perturbed region, so its constant proof survives the fault) — the
+    line cannot explain any failing response, so no simulation is
+    spent on it.  Branch lines inherit their stem's verdict: every
+    branch path is a stem path, so a blocked stem blocks its branches.
+
+    ``deep=True`` additionally uses implication- and hash-derived
+    constants (pricier; the engine enables it for root-level
+    expansions, where the facts are computed once per run).
+
+    The drop is airtight per suspect.  Across a *tuple* of corrections
+    the screen is re-applied per node on the partially-corrected
+    netlist, which in principle can hide exotic tuples whose members
+    pairwise mask each other's observability; the pre-screen shares
+    this per-node character with the Theorem 1 screen and can be
+    switched off via ``DiagnosisConfig(static_prescreen=False)``.
+
+    Returns ``(kept_lines, dropped_count)`` with order preserved.
+    """
+    from ..analyze.dataflow import netlist_facts
+    facts = netlist_facts(state.netlist)
+    observable = facts.observable_set()
+    blocked = facts.blocked_signals(deep=deep)
+    kept = []
+    dropped = 0
+    for line_index in lines:
+        driver = state.table[line_index].driver
+        if driver not in observable or driver in blocked:
+            dropped += 1
+        else:
+            kept.append(line_index)
+    return kept, dropped
 
 
 def theorem1_bound(num_failing: int, num_errors: int) -> int:

@@ -29,7 +29,8 @@ from .pathtrace import path_trace_counts, top_fraction
 from .potential import rank_lines
 from .ranking import rank_corrections
 from .report import CorrectionRecord, EngineStats, Solution
-from .screening import ScreenedCorrection, screen_corrections
+from .screening import (ScreenedCorrection, prescreen_suspects,
+                        screen_corrections)
 
 
 @dataclass
@@ -89,6 +90,10 @@ class DecisionTree:
         candidate_lines = [line for line
                            in top_fraction(counts, self.candidate_fraction)
                            if is_correctable_line(state, line)]
+        if config.static_prescreen:
+            candidate_lines, dropped = prescreen_suspects(
+                state, candidate_lines, deep=node.depth == 0)
+            self.stats.prescreen_dropped += dropped
         potentials = rank_lines(state, candidate_lines, self.h.h1)
         if self.invariants:
             self.invariants.check_lines_live(state, candidate_lines)

@@ -31,10 +31,10 @@ def broken():
     return nl
 
 
-def test_registry_has_both_groups():
+def test_registry_has_all_groups():
     groups = {rule.group for rule in DEFAULT_REGISTRY}
-    assert groups == {"structural", "semantic"}
-    assert len(DEFAULT_REGISTRY) >= 12
+    assert groups == {"structural", "semantic", "deep"}
+    assert len(DEFAULT_REGISTRY) >= 15
 
 
 def test_text_report_mentions_rule_and_severity():

@@ -1,0 +1,99 @@
+"""Deep-rule regressions: planted defects the shallow rules miss."""
+
+from repro.analyze import lint_netlist
+from repro.circuit import GateType, Netlist
+
+
+def planted_netlist() -> Netlist:
+    """One provably-constant line and one duplicate pair, both invisible
+    to the shallow semantic rules (no CONST gates, no repeated pins, no
+    unreachable logic)."""
+    nl = Netlist("planted")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    na = nl.add_gate("na", GateType.NOT, [a])
+    k = nl.add_gate("k", GateType.AND, [a, na])   # == 0, by contradiction
+    g1 = nl.add_gate("g1", GateType.AND, [a, b])
+    g2 = nl.add_gate("g2", GateType.AND, [b, a])  # duplicate of g1
+    o1 = nl.add_gate("o1", GateType.OR, [k, g1])
+    o2 = nl.add_gate("o2", GateType.XOR, [g2, na])
+    nl.set_outputs([o1, o2])
+    return nl
+
+
+def odc_netlist() -> Netlist:
+    """A line whose only path to a PO runs through an AND whose other
+    input is a constant 0 hidden behind a buffer chain."""
+    nl = Netlist("odc")
+    a = nl.add_input("a")
+    c0 = nl.add_gate("c0", GateType.CONST0, [])
+    buf = nl.add_gate("buf", GateType.BUF, [c0])
+    mid = nl.add_gate("mid", GateType.NOT, [a])
+    dom = nl.add_gate("dom", GateType.AND, [mid, buf])
+    nl.set_outputs([dom])
+    return nl
+
+
+def fired(report, rule):
+    return [d for d in report.diagnostics if d.rule == rule]
+
+
+def test_shallow_rules_miss_the_plants():
+    report = lint_netlist(planted_netlist())
+    assert report.clean
+
+
+def test_deep_flags_planted_constant_line():
+    report = lint_netlist(planted_netlist(), deep=True)
+    diags = fired(report, "const-line")
+    assert [d.gate for d in diags] == ["k"]
+    assert diags[0].data["value"] == 0
+    assert diags[0].data["proof"] == "implication-contradiction"
+
+
+def test_deep_flags_planted_duplicate_pair():
+    report = lint_netlist(planted_netlist(), deep=True)
+    diags = fired(report, "duplicate-logic")
+    assert any(set(d.data["gates"]) >= {"g1", "g2"} for d in diags)
+
+
+def test_deep_flags_odc_masked_line():
+    report = lint_netlist(odc_netlist(), deep=True)
+    diags = fired(report, "odc-unobservable")
+    assert {d.gate for d in diags} == {"a", "mid"}
+    for d in diags:
+        assert d.data["dominator"] == "dom"
+        assert d.data["side_input"] in ("buf", "c0")
+        assert d.data["controlling_value"] == 0
+    # the shallow observability rule sees nothing: a path exists
+    shallow = lint_netlist(odc_netlist())
+    assert not fired(shallow, "unobservable-line")
+
+
+def test_deep_group_not_run_by_default():
+    report = lint_netlist(planted_netlist())
+    assert "deep" not in {d.rule for d in report.diagnostics}
+    assert "deep" not in report.skipped_groups  # not requested, not skipped
+
+
+def test_deep_group_gated_on_earlier_errors():
+    nl = planted_netlist()
+    nl.gates[3].fanin = [42, 0]  # structural breakage
+    report = lint_netlist(nl, deep=True)
+    assert not report.ok
+    assert "deep" in report.skipped_groups
+
+
+def test_deep_rules_suppressible():
+    report = lint_netlist(planted_netlist(), deep=True,
+                          suppress=["const-line"])
+    assert not fired(report, "const-line")
+    assert fired(report, "duplicate-logic")
+
+
+def test_deep_rules_skip_dead_logic():
+    nl = planted_netlist()
+    na2 = nl.add_gate("na2", GateType.NOT, [0])
+    nl.add_gate("kdead", GateType.AND, [0, na2])  # dead const line
+    report = lint_netlist(nl, deep=True)
+    assert [d.gate for d in fired(report, "const-line")] == ["k"]

@@ -136,6 +136,74 @@ def test_lint_json_format(tmp_path, capsys):
     assert data[0]["counts"]["error"] == 0
 
 
+PLANTED_BENCH = ("INPUT(a)\nINPUT(b)\nOUTPUT(o1)\nOUTPUT(o2)\n"
+                 "na = NOT(a)\nk = AND(a, na)\n"
+                 "g1 = AND(a, b)\ng2 = AND(b, a)\n"
+                 "o1 = OR(k, g1)\no2 = XOR(g2, na)\n")
+
+
+def test_lint_deep_flags_planted_defects(tmp_path, capsys):
+    path = tmp_path / "planted.bench"
+    path.write_text(PLANTED_BENCH)
+    assert main(["lint", str(path)]) == 0
+    shallow = capsys.readouterr().out
+    assert "const-line" not in shallow and "duplicate-logic" not in shallow
+    assert main(["lint", "--deep", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "const-line" in out and "duplicate-logic" in out
+
+
+def test_lint_json_deterministic(tmp_path, capsys):
+    path = tmp_path / "planted.bench"
+    path.write_text(PLANTED_BENCH)
+    runs = []
+    for _ in range(2):
+        assert main(["lint", "--deep", "--format", "json",
+                     str(path)]) == 0
+        runs.append(capsys.readouterr().out)
+    assert runs[0] == runs[1]
+    import json as json_mod
+    data = json_mod.loads(runs[0])
+    assert data[0]["netlist"] == "planted"
+    rules = [d["rule"] for d in data[0]["diagnostics"]]
+    assert rules == sorted(rules)
+    assert all("severity" in d for d in data[0]["diagnostics"])
+
+
+def test_facts_command_text_and_json(tmp_path, capsys):
+    import json as json_mod
+    path = tmp_path / "planted.bench"
+    path.write_text(PLANTED_BENCH)
+    assert main(["facts", str(path)]) == 0
+    text = capsys.readouterr().out
+    assert "implied constants" in text and "k=0" in text
+    assert "duplicate logic" in text
+    assert main(["facts", "--format", "json", str(path)]) == 0
+    data = json_mod.loads(capsys.readouterr().out)
+    assert data[0]["netlist"] == "planted"
+    assert data[0]["implied_constants"] == {"k": 0}
+    assert any({"g1", "g2"} <= set(group)
+               for group in data[0]["duplicate_groups"])
+    assert "implications" in data[0]
+
+
+def test_facts_no_deep_and_bad_file(tmp_path, capsys):
+    import json as json_mod
+    good = tmp_path / "planted.bench"
+    good.write_text(PLANTED_BENCH)
+    bad = tmp_path / "bad.bench"
+    bad.write_text("INPUT(x)\nOUTPUT(p)\np = AND(x, q)\n")
+    assert main(["facts", "--no-deep", "--format", "json",
+                 str(good)]) == 0
+    data = json_mod.loads(capsys.readouterr().out)
+    assert "implications" not in data[0]
+    assert data[0]["implied_constants"] == {}
+    assert main(["facts", str(bad), str(good)]) == 2
+    captured = capsys.readouterr()
+    assert "error" in captured.err
+    assert "planted" in captured.out  # good files still reported
+
+
 def test_lint_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
