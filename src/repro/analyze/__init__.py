@@ -14,6 +14,11 @@ A static-analysis engine over :class:`~repro.circuit.netlist.Netlist`:
   structural-hash equivalence, implication closure,
   dominators + ODCs), bundled as :class:`NetlistFacts` and cached on
   the netlist;
+* *prove* rules backed by the SAT-sweeping engine
+  (:mod:`~repro.analyze.prove`): proven-constant lines,
+  proven-duplicate logic and proven-redundant fanins, each verdict
+  three-valued with the refuting counterexample attached when one
+  exists (opt-in via ``lint_netlist(prove=True)``);
 * severity levels (error / warning / info) with per-rule suppression;
 * text and JSON reporters (:class:`LintReport`);
 * :class:`InvariantChecker`, a debug-mode guard over the engine's
@@ -33,10 +38,13 @@ from .invariants import InvariantChecker
 from .lint import (DEFAULT_GROUPS, GROUP_ORDER, LOAD_POLICIES,
                    get_load_lint_policy, lint_netlist, lint_on_load,
                    set_load_lint_policy)
+from .prove import (ProofStatus, ProvenConstant, Prover, SweepResult,
+                    SweepStats, Verdict, prove_equivalent)
 from .report import LintReport
 
 # Importing the rule modules registers the built-in rules.
 from . import rules_structural, rules_semantic, rules_deep  # noqa: E402,F401
+from . import rules_prove  # noqa: E402,F401
 
 __all__ = [
     "AnalysisContext", "DEFAULT_REGISTRY", "Diagnostic", "Rule",
@@ -47,5 +55,7 @@ __all__ = [
     "DEFAULT_GROUPS", "GROUP_ORDER", "LOAD_POLICIES",
     "get_load_lint_policy", "lint_netlist", "lint_on_load",
     "set_load_lint_policy",
+    "ProofStatus", "ProvenConstant", "Prover", "SweepResult",
+    "SweepStats", "Verdict", "prove_equivalent",
     "LintReport",
 ]

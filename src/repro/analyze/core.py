@@ -79,6 +79,9 @@ class AnalysisContext:
 
     def __init__(self, netlist: Netlist):
         self.netlist = netlist
+        #: Per-query conflict budget for the ``prove`` rule group
+        #: (None = the engine default); set by the lint driver.
+        self.prove_budget: int | None = None
         self._fanouts: list[list[int]] | None = None
         self._live: set[int] | None = None
 

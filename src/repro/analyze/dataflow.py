@@ -649,6 +649,7 @@ class NetlistFacts:
         self._dominators: Optional[List[Optional[int]]] = None
         self._cones: Dict[int, frozenset] = {}
         self._blocked: Dict[bool, frozenset] = {}
+        self._prover: Optional[object] = None
 
     # -- constants -----------------------------------------------------
     def constants(self) -> Dict[int, int]:
@@ -857,6 +858,35 @@ class NetlistFacts:
         result = frozenset(blocked)
         self._blocked[key] = result
         return result
+
+    # -- proofs ---------------------------------------------------------
+    def prover(self, conflict_budget: Optional[int] = None,
+               nvectors: Optional[int] = None, seed: int = 0):
+        """The SAT-sweeping prover for this snapshot, built once.
+
+        The :class:`~repro.analyze.prove.Prover` carries the Tseitin
+        encoding of the whole combinational core plus the accumulated
+        simulation signatures; caching it here ties its lifetime to the
+        facts bundle, so :meth:`Netlist._dirty` invalidates the CNF with
+        every other derived structure.  ``conflict_budget`` updates the
+        cached instance's per-query budget; ``nvectors``/``seed`` only
+        apply on first construction.  Raises
+        :class:`~repro.errors.NetlistError` on combinational cycles.
+        """
+        from .prove import DEFAULT_CONFLICT_BUDGET, DEFAULT_VECTORS, Prover
+
+        if self._prover is None:
+            self._prover = Prover(
+                self.netlist, facts=self,
+                conflict_budget=(DEFAULT_CONFLICT_BUDGET
+                                 if conflict_budget is None
+                                 else conflict_budget),
+                nvectors=(DEFAULT_VECTORS if nvectors is None
+                          else nvectors),
+                seed=seed)
+        elif conflict_budget is not None:
+            self._prover.conflict_budget = conflict_budget
+        return self._prover
 
     # -- reporting ------------------------------------------------------
     def summary(self, deep: bool = True) -> dict:

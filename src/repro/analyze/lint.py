@@ -31,8 +31,9 @@ from .core import (AnalysisContext, DEFAULT_REGISTRY, RuleRegistry,
 from .report import LintReport
 
 #: Rule-group execution order; later groups require earlier ones clean.
-#: ``deep`` (dataflow-backed rules) is opt-in via ``deep=True``.
-GROUP_ORDER = ("structural", "semantic", "deep")
+#: ``deep`` (dataflow-backed rules) is opt-in via ``deep=True``;
+#: ``prove`` (SAT-backed rules) via ``prove=True``.
+GROUP_ORDER = ("structural", "semantic", "deep", "prove")
 
 #: Groups run when the caller does not ask for anything special.
 DEFAULT_GROUPS = ("structural", "semantic")
@@ -63,7 +64,9 @@ def lint_netlist(netlist: Netlist,
                  registry: RuleRegistry | None = None,
                  suppress: Iterable[str] = (),
                  groups: Iterable[str] | None = None,
-                 deep: bool = False) -> LintReport:
+                 deep: bool = False,
+                 prove: bool = False,
+                 prove_budget: int | None = None) -> LintReport:
     """Run every (non-suppressed) rule and collect the findings.
 
     Args:
@@ -72,11 +75,19 @@ def lint_netlist(netlist: Netlist,
         suppress: rule ids to skip; unknown ids raise ``KeyError`` so
             typos don't silently disable nothing.
         groups: restrict to these rule groups (default:
-            :data:`DEFAULT_GROUPS`, plus ``deep`` when requested).
+            :data:`DEFAULT_GROUPS`, plus ``deep``/``prove`` when
+            requested).
         deep: also run the dataflow-backed ``deep`` group (provable
             constants, duplicate logic, ODC-masked lines).  These rules
             compute fixed points over the netlist and cost noticeably
             more than the shallow sweeps, hence opt-in.
+        prove: also run the SAT-backed ``prove`` group (SAT-sweeping:
+            proven constants, proven duplicate logic, proven redundant
+            fanins).  Costs solver time, hence opt-in; the sweep's
+            effort accounting lands in :attr:`LintReport.prove_stats`.
+        prove_budget: per-query conflict budget for the prove group
+            (default: the engine's
+            :data:`~repro.analyze.prove.DEFAULT_CONFLICT_BUDGET`).
     """
     registry = registry or DEFAULT_REGISTRY
     suppressed = list(suppress)
@@ -86,10 +97,16 @@ def lint_netlist(netlist: Netlist,
         wanted = tuple(groups)
         if deep and "deep" not in wanted:
             wanted = wanted + ("deep",)
+        if prove and "prove" not in wanted:
+            wanted = wanted + ("prove",)
     else:
-        wanted = GROUP_ORDER if deep else DEFAULT_GROUPS
+        wanted = tuple(g for g in GROUP_ORDER
+                       if g in DEFAULT_GROUPS
+                       or (g == "deep" and deep)
+                       or (g == "prove" and prove))
     report = LintReport(netlist.name, suppressed=suppressed)
     ctx = AnalysisContext(netlist)
+    ctx.prove_budget = prove_budget
     for group in GROUP_ORDER:
         if group not in wanted:
             continue
@@ -101,6 +118,11 @@ def lint_netlist(netlist: Netlist,
             if rule.id in suppressed:
                 continue
             report.diagnostics.extend(rule.run(ctx))
+        if group == "prove":
+            from .dataflow import netlist_facts
+            prover = netlist_facts(netlist)._prover
+            if prover is not None:
+                report.prove_stats = prover.stats_snapshot()
     return report
 
 

@@ -18,12 +18,16 @@ class LintReport:
         skipped_groups: rule groups not run (semantic rules are skipped
             while structural errors are present).
         suppressed: rule ids the caller suppressed for this run.
+        prove_stats: effort accounting of the SAT-sweep when the
+            ``prove`` group ran (queries, proven/refuted/unknown
+            counts, conflicts, solver stats), else ``None``.
     """
 
     netlist_name: str
     diagnostics: list[Diagnostic] = field(default_factory=list)
     skipped_groups: list[str] = field(default_factory=list)
     suppressed: list[str] = field(default_factory=list)
+    prove_stats: dict | None = None
 
     # ------------------------------------------------------------------
     def by_severity(self, severity: Severity) -> list[Diagnostic]:
@@ -78,6 +82,14 @@ class LintReport:
             summary += (" (skipped " + ", ".join(self.skipped_groups)
                         + " rules until structural errors are fixed)")
         lines.append(summary)
+        if self.prove_stats:
+            lines.append(
+                f"{self.netlist_name}: prove: "
+                f"{self.prove_stats.get('queries', 0)} SAT queries, "
+                f"{self.prove_stats.get('proven', 0)} proven, "
+                f"{self.prove_stats.get('refuted', 0)} refuted, "
+                f"{self.prove_stats.get('unknown', 0)} unknown, "
+                f"{self.prove_stats.get('conflicts', 0)} conflicts")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -91,13 +103,18 @@ class LintReport:
         ordered = sorted(
             self.diagnostics,
             key=lambda d: (d.rule, d.gate or "", d.message))
-        return {
+        out = {
             "netlist": self.netlist_name,
             "counts": self.counts(),
             "diagnostics": [d.to_dict() for d in ordered],
             "skipped_groups": sorted(self.skipped_groups),
             "suppressed": sorted(self.suppressed),
         }
+        if self.prove_stats is not None:
+            stats = dict(self.prove_stats)
+            stats.pop("time_s", None)  # wall time is not reproducible
+            out["prove_stats"] = stats
+        return out
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,179 @@
+"""Prove rules: lint findings backed by SAT proofs, not heuristics.
+
+The ``prove`` group runs the SAT-sweeping engine
+(:mod:`repro.analyze.prove`) over the netlist and reports only what the
+solver (or the already-sound structural analyses) *proved*:
+
+* ``proven-const-line`` — the line holds one value on every input
+  vector; the proof is named (``sat-sweep`` or the dataflow provenance)
+  and budget-exhausted constant candidates are surfaced as INFO rather
+  than dropped;
+* ``proven-duplicate-logic`` — an equivalence/antivalence class whose
+  merges are each certified UNSAT (or by hash-consing, which is a proof
+  already).  Near-miss candidates — signatures agreed on every random
+  vector but the solver found a counterexample — are reported as INFO
+  with the refuting vector attached, as are budget-exhausted pairs;
+* ``proven-redundant-fanin`` — a multi-input gate computes the same
+  function with one of its pins removed, so the connection carries no
+  information (classic redundancy, the dual of an untestable stuck-at).
+
+Like the ``deep`` group these rules are opt-in (``repro lint --prove``)
+and run only once the earlier groups are error-free: the sweep needs a
+topological order, which combinational loops (a semantic ERROR) deny.
+Unlike the ``deep`` group a PROVEN verdict here is exact by
+construction — the property tests pin every one against exhaustive
+simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..circuit.gatetypes import (GateType, MULTI_INPUT_TYPES,
+                                 SOURCE_TYPES)
+from .core import AnalysisContext, DEFAULT_REGISTRY, Diagnostic, Severity
+from .prove import ProofStatus
+
+_rule = DEFAULT_REGISTRY.rule
+
+#: Gate types never reported as duplicate-class members (leaf literals).
+_LEAF_TYPES = (GateType.INPUT, GateType.DFF,
+               GateType.CONST0, GateType.CONST1)
+
+
+def _prover_of(ctx: AnalysisContext):
+    """The context's cached prover (budget set by the lint driver)."""
+    return ctx.facts().prover(
+        conflict_budget=getattr(ctx, "prove_budget", None))
+
+
+@_rule("proven-const-line", "prove", Severity.WARNING,
+       "no live line is SAT-provably constant over all input vectors")
+def check_proven_const_line(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    result = _prover_of(ctx).sweep()
+    live = ctx.live()
+    gates = ctx.netlist.gates
+    for index in sorted(result.constants):
+        gate = gates[index]
+        if gate.gtype in SOURCE_TYPES or index not in live:
+            continue  # declared constants and dead logic have own rules
+
+        proven = result.constants[index]
+        yield Diagnostic(
+            "proven-const-line", Severity.WARNING,
+            f"line {gate.name!r} ({gate.gtype.name}) is proven constant "
+            f"{proven.value} on every input vector (proof: "
+            f"{proven.proof}); any correction there is indistinguishable "
+            f"from a constant swap",
+            gate=gate.name,
+            data={"status": str(ProofStatus.PROVEN),
+                  "value": proven.value, "proof": proven.proof,
+                  "conflicts": proven.verdict.conflicts})
+    for index, value, verdict in result.unknown_constants:
+        gate = gates[index]
+        if index not in live:
+            continue
+        yield Diagnostic(
+            "proven-const-line", Severity.INFO,
+            f"line {gate.name!r} looks constant {value} on every "
+            f"simulated vector but the proof exhausted its budget "
+            f"({verdict.conflicts} conflicts); undecided",
+            gate=gate.name,
+            data={"status": str(ProofStatus.UNKNOWN), "value": value,
+                  "conflicts": verdict.conflicts})
+
+
+@_rule("proven-duplicate-logic", "prove", Severity.WARNING,
+       "no two live gates are SAT-provably equivalent (or antivalent)")
+def check_proven_duplicate_logic(
+        ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    result = _prover_of(ctx).sweep()
+    live = ctx.live()
+    gates = ctx.netlist.gates
+    for members, proof in zip(result.classes, result.class_proofs):
+        kept = [(sig, phase) for sig, phase in members
+                if sig in live and gates[sig].gtype not in _LEAF_TYPES]
+        if len(kept) < 2:
+            continue
+        base = kept[0][1]
+        kept = [(sig, phase ^ base) for sig, phase in kept]
+        pretty = [gates[sig].name for sig, _phase in kept]
+        inverted = [gates[sig].name for sig, phase in kept if phase]
+        relation = ("equivalent" if not inverted else
+                    f"equivalent up to inversion of {inverted}")
+        yield Diagnostic(
+            "proven-duplicate-logic", Severity.WARNING,
+            f"gates {pretty} are proven {relation} on every input "
+            f"vector (proof: {proof}); duplicated logic doubles the "
+            f"suspect space without adding diagnosability",
+            gate=pretty[0],
+            data={"status": str(ProofStatus.PROVEN), "gates": pretty,
+                  "inverted": inverted, "proof": proof})
+    for a, b, phase, verdict in result.refuted_pairs:
+        if a not in live or b not in live:
+            continue
+        cex = list(verdict.counterexample or ())
+        yield Diagnostic(
+            "proven-duplicate-logic", Severity.INFO,
+            f"gates [{gates[a].name!r}, {gates[b].name!r}] agreed on "
+            f"every random vector but are NOT "
+            f"{'antivalent' if phase else 'equivalent'}: counterexample "
+            f"{cex} distinguishes them ({verdict.conflicts} conflicts)",
+            gate=gates[a].name,
+            data={"status": str(ProofStatus.REFUTED),
+                  "gates": [gates[a].name, gates[b].name],
+                  "antivalence": phase, "counterexample": cex,
+                  "conflicts": verdict.conflicts})
+    for a, b, phase, verdict in result.unknown_pairs:
+        if a not in live or b not in live:
+            continue
+        yield Diagnostic(
+            "proven-duplicate-logic", Severity.INFO,
+            f"gates [{gates[a].name!r}, {gates[b].name!r}] look "
+            f"{'antivalent' if phase else 'equivalent'} but the proof "
+            f"exhausted its budget ({verdict.conflicts} conflicts); "
+            f"undecided",
+            gate=gates[a].name,
+            data={"status": str(ProofStatus.UNKNOWN),
+                  "gates": [gates[a].name, gates[b].name],
+                  "antivalence": phase,
+                  "conflicts": verdict.conflicts})
+
+
+@_rule("proven-redundant-fanin", "prove", Severity.WARNING,
+       "no live multi-input gate computes the same function with one "
+       "of its pins removed")
+def check_proven_redundant_fanin(
+        ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    prover = _prover_of(ctx)
+    prover.sweep()  # signatures refined before any pin query
+    live = ctx.live()
+    for gate in ctx.netlist.gates:
+        if (gate.gtype not in MULTI_INPUT_TYPES
+                or len(gate.fanin) < 2 or gate.index not in live):
+            continue
+        for pin in range(len(gate.fanin)):
+            verdict = prover.prove_pin_redundant(gate.index, pin)
+            src = ctx.netlist.gates[gate.fanin[pin]].name
+            if verdict.status is ProofStatus.PROVEN:
+                yield Diagnostic(
+                    "proven-redundant-fanin", Severity.WARNING,
+                    f"pin {pin} of gate {gate.name!r} "
+                    f"({gate.gtype.name}, fed by {src!r}) is proven "
+                    f"redundant: dropping it leaves the function "
+                    f"unchanged on every input vector",
+                    gate=gate.name,
+                    data={"status": str(ProofStatus.PROVEN), "pin": pin,
+                          "source": src,
+                          "conflicts": verdict.conflicts})
+            elif verdict.status is ProofStatus.UNKNOWN:
+                yield Diagnostic(
+                    "proven-redundant-fanin", Severity.INFO,
+                    f"pin {pin} of gate {gate.name!r} looks redundant "
+                    f"on every simulated vector but the proof exhausted "
+                    f"its budget ({verdict.conflicts} conflicts); "
+                    f"undecided",
+                    gate=gate.name,
+                    data={"status": str(ProofStatus.UNKNOWN),
+                          "pin": pin, "source": src,
+                          "conflicts": verdict.conflicts})

@@ -7,8 +7,10 @@ Subcommands::
     repro ablation [--errors K] ...
     repro diagnose SPEC.bench IMPL.bench [--mode stuck-at|design-error]
     repro bench [--smoke] [--out BENCH_sim.json] [--check FILE]
-    repro lint FILE [FILE...] [--format json] [--strict] [--deep] ...
+    repro lint FILE [FILE...] [--format json] [--strict] [--deep]
+               [--prove] ...
     repro facts FILE [FILE...] [--format json] [--no-deep]
+    repro prove A.bench B.bench [--budget N]   # SAT equivalence check
     repro inject SPEC.bench OUT.bench (--faults K | --errors K) [--seed N]
     repro compare [--faults 1,2]     # engine vs SAT vs dictionary
     repro convert IN.bench OUT.v     # netlist format conversion
@@ -119,7 +121,8 @@ def cmd_diagnose(args) -> int:
     config = DiagnosisConfig(mode=mode, exact=(mode is Mode.STUCK_AT),
                              max_errors=args.max_errors,
                              time_budget=args.time_budget,
-                             check_invariants=args.check_invariants)
+                             check_invariants=args.check_invariants,
+                             prove_dedup=args.prove_dedup)
     if mode is Mode.STUCK_AT:
         # Fault-model the good netlist against the faulty device.
         engine = IncrementalDiagnoser(impl, spec, patterns, config)
@@ -161,7 +164,8 @@ def cmd_lint(args) -> int:
             continue
         try:
             report = lint_netlist(netlist, suppress=suppress,
-                                  deep=args.deep)
+                                  deep=args.deep, prove=args.prove,
+                                  prove_budget=args.prove_budget)
         except KeyError as exc:
             sys.exit(f"repro lint: {exc.args[0]}")
         if args.format == "json":
@@ -208,6 +212,46 @@ def cmd_facts(args) -> int:
         if "implications" in digest:
             print(f"  closed implications: {digest['implications']}")
     return worst
+
+
+def cmd_prove(args) -> int:
+    """SAT combinational equivalence check of two netlists.
+
+    Exit codes: 0 proven equivalent, 1 different (the distinguishing
+    input vector is printed), 2 unreadable/mismatched input, 3 conflict
+    budget exhausted (undecided).
+    """
+    from .analyze.prove import ProofStatus, prove_equivalent
+    from .errors import ReproError
+
+    try:
+        a = _load_any(args.a, lint="off")
+        b = _load_any(args.b, lint="off")
+        if not a.is_combinational:
+            a = full_scan(a)[0]
+        if not b.is_combinational:
+            b = full_scan(b)[0]
+        verdict = prove_equivalent(a, b, conflict_budget=args.budget,
+                                   seed=args.seed)
+    except (ReproError, OSError) as exc:
+        print(f"repro prove: error: {exc}", file=sys.stderr)
+        return 2
+    if verdict.status is ProofStatus.PROVEN:
+        print(f"{args.a} == {args.b}: proven equivalent "
+              f"({verdict.conflicts} conflicts)")
+        return 0
+    if verdict.status is ProofStatus.REFUTED:
+        names = [a.gates[i].name for i in a.inputs]
+        assignment = ", ".join(
+            f"{name}={value}" for name, value
+            in zip(names, verdict.counterexample))
+        print(f"{args.a} != {args.b}: distinguishing vector "
+              f"{assignment} ({verdict.conflicts} conflicts)")
+        return 1
+    print(f"{args.a} ?= {args.b}: undecided, conflict budget "
+          f"exhausted ({verdict.conflicts} conflicts; retry with a "
+          f"larger --budget)")
+    return 3
 
 
 def cmd_convert(args) -> int:
@@ -337,6 +381,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check-invariants", action="store_true",
                    help="assert Verr/Vcorr + Theorem 1 invariants at "
                         "every tree node (debug mode)")
+    p.add_argument("--prove-dedup", action="store_true",
+                   help="SAT-equivalence-check surviving correction "
+                        "candidates and collapse proven-equivalent "
+                        "ones into one candidate with aliases")
     p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser("lint",
@@ -352,6 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the dataflow-backed deep rules "
                         "(provable constants, duplicate logic, "
                         "ODC-masked lines)")
+    p.add_argument("--prove", action="store_true",
+                   help="also run the SAT-backed prove rules (proven "
+                        "constants, proven duplicate logic, proven "
+                        "redundant fanins)")
+    p.add_argument("--prove-budget", type=int, default=None,
+                   help="per-query conflict budget for --prove")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule table and exit")
     p.set_defaults(func=cmd_lint)
@@ -365,6 +419,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-deep", action="store_true",
                    help="skip the implication closure (cheaper)")
     p.set_defaults(func=cmd_facts)
+
+    p = sub.add_parser("prove",
+                       help="SAT equivalence check of two netlists "
+                            "(e.g. before/after an applied correction)")
+    p.add_argument("a", help="first netlist (.bench or .v)")
+    p.add_argument("b", help="second netlist (.bench or .v)")
+    p.add_argument("--budget", type=int, default=100_000,
+                   help="conflict budget before giving up (exit 3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_prove)
 
     p = sub.add_parser("convert",
                        help="convert between .bench and .v")

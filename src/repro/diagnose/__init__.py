@@ -14,6 +14,7 @@ from .candidates import (corrections_for_line, design_error_corrections,
 from .ranking import rank_corrections, rank_value
 from .tree import DecisionTree, Node, round_visit_order
 from .engine import IncrementalDiagnoser, diagnose
+from .dedup import dedup_solutions
 from .report import (CorrectionRecord, DiagnosisResult, EngineStats,
                      Solution, matches_truth)
 from .verify import exhaustively_equivalent, rectifies
@@ -40,7 +41,7 @@ __all__ = [
     "stuck_at_corrections", "wire_sources", "enumerate_corrections",
     "rank_corrections", "rank_value",
     "DecisionTree", "Node", "round_visit_order",
-    "IncrementalDiagnoser", "diagnose",
+    "IncrementalDiagnoser", "diagnose", "dedup_solutions",
     "CorrectionRecord", "DiagnosisResult", "EngineStats", "Solution",
     "matches_truth",
     "exhaustively_equivalent", "rectifies",

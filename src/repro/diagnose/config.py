@@ -107,6 +107,15 @@ class DiagnosisConfig:
         h3_exact: heuristic-3 threshold in exact mode (0 disables the
             screen so no valid tuple is ever pruned by it).
         schedule: optional explicit relaxation ladder override.
+        prove_dedup: after the search, SAT-equivalence-check pairs of
+            surviving correction candidates (repaired netlist vs
+            repaired netlist through a full miter) and collapse
+            proven-equivalent ones into one reported candidate with
+            aliases — see :func:`repro.diagnose.dedup.dedup_solutions`.
+            Off by default: the paper's Table 1 counts every minimal
+            correction tuple separately.
+        prove_budget: per-equivalence-check conflict budget of the
+            dedup pass; budget-exhausted checks never merge.
         check_invariants: debug mode — assert the Section 2
             ``Verr``/``Vcorr`` partition, the Theorem 1 preconditions
             and live-line referencing at every tree node (see
@@ -127,6 +136,8 @@ class DiagnosisConfig:
     static_prescreen: bool = True
     theorem1_safety: float = 1.0
     h3_exact: float = 0.0
+    prove_dedup: bool = False
+    prove_budget: int = 2000
     schedule: list = field(default_factory=list)
     traversal: str = "rounds"   # "rounds" (paper) | "dfs" | "bfs"
     time_budget: float | None = None  # wall-clock seconds for one run()

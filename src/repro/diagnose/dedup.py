@@ -1,0 +1,69 @@
+"""SAT-backed dedup of functionally-equivalent correction candidates.
+
+The paper's correction step (Section 4) matches suspect lines against
+fault/error models and can return several correction sets whose
+*repaired netlists* compute the identical function — a stuck-at-0 on a
+stem and on its only surviving branch, say, or two gate replacements
+that coincide on the reachable input space.  Simulation can never tell
+such candidates apart (that is what "equivalent" means), so they
+survive every vector and inflate the report a test engineer has to
+walk.
+
+This pass runs after the search: candidates of equal correction-set
+size are equivalence-checked pairwise through a full miter
+(:func:`repro.analyze.prove.prove_equivalent`) under a conflict budget.
+A PROVEN verdict collapses the later candidate into the earlier one as
+an *alias* — it is still reported, but as a name on the representative
+rather than a separate line item.  REFUTED pairs stay separate (the
+distinguishing vector exists, a tester could apply it); UNKNOWN pairs
+also stay separate — a budget exhaustion must never merge candidates
+that might differ.  Counts land in
+:class:`~repro.diagnose.report.EngineStats` (``dedup_checked`` /
+``dedup_merged`` / ``dedup_unknown``): the collapse is visible, never
+silent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List
+
+from .report import EngineStats, Solution
+
+
+def dedup_solutions(solutions: List[Solution], stats: EngineStats,
+                    conflict_budget: int = 2000) -> List[Solution]:
+    """Collapse proven-equivalent solutions into representatives.
+
+    Keeps discovery order: the first member of each proven-equivalence
+    class becomes the representative and gains the later members'
+    descriptions as :attr:`Solution.aliases`.  Solutions without an
+    attached repaired netlist are kept verbatim (nothing to compare).
+    """
+    from ..analyze.prove import ProofStatus, prove_equivalent
+
+    t0 = time.perf_counter()
+    kept: List[Solution] = []
+    for sol in solutions:
+        merged = False
+        if sol.netlist is not None:
+            for i, rep in enumerate(kept):
+                if rep.netlist is None or rep.size != sol.size:
+                    continue
+                stats.dedup_checked += 1
+                verdict = prove_equivalent(
+                    rep.netlist, sol.netlist,
+                    conflict_budget=conflict_budget)
+                if verdict.status is ProofStatus.PROVEN:
+                    kept[i] = dataclasses.replace(
+                        rep, aliases=rep.aliases + (sol.describe(),))
+                    stats.dedup_merged += 1
+                    merged = True
+                    break
+                if verdict.status is ProofStatus.UNKNOWN:
+                    stats.dedup_unknown += 1
+        if not merged:
+            kept.append(sol)
+    stats.dedup_time += time.perf_counter() - t0
+    return kept

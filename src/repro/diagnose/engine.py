@@ -106,6 +106,11 @@ class IncrementalDiagnoser:
                 if found:
                     solutions = found
                     break
+        if self.config.prove_dedup and len(solutions) > 1:
+            from .dedup import dedup_solutions
+            solutions = dedup_solutions(
+                solutions, stats,
+                conflict_budget=self.config.prove_budget)
         stats.total_time = time.perf_counter() - t0
         return DiagnosisResult(solutions, stats, self.patterns.nbits,
                                self.root_state.num_err)

@@ -42,10 +42,17 @@ class Solution:
     every correction already applied) — in DEDC mode this is the repaired
     design, in stuck-at mode the fault-modeled good netlist that matches
     the faulty device.
+
+    ``aliases`` lists the descriptions of other correction sets whose
+    repaired netlists were SAT-proven equivalent to this one and were
+    collapsed into it by the dedup pass
+    (:func:`repro.diagnose.dedup.dedup_solutions`); empty unless
+    ``DiagnosisConfig.prove_dedup`` was on.
     """
 
     records: tuple
     netlist: object = None  # repro.circuit.Netlist (kept loose for eq)
+    aliases: tuple = ()     # describe() strings of merged equivalents
 
     @property
     def key(self) -> frozenset:
@@ -76,6 +83,10 @@ class EngineStats:
     levels_tried: list = field(default_factory=list)  # "N=2 h=0.3/0.7/0.95"
     truncated: bool = False   # hit the node budget
     prescreen_dropped: int = 0  # suspects removed by the static pre-screen
+    dedup_checked: int = 0    # candidate pairs equivalence-checked
+    dedup_merged: int = 0     # proven-equivalent candidates collapsed
+    dedup_unknown: int = 0    # checks that exhausted the conflict budget
+    dedup_time: float = 0.0   # wall time of the dedup pass
 
     def merge(self, other: "EngineStats") -> None:
         self.nodes += other.nodes
@@ -87,6 +98,10 @@ class EngineStats:
         self.levels_tried.extend(other.levels_tried)
         self.truncated = self.truncated or other.truncated
         self.prescreen_dropped += other.prescreen_dropped
+        self.dedup_checked += other.dedup_checked
+        self.dedup_merged += other.dedup_merged
+        self.dedup_unknown += other.dedup_unknown
+        self.dedup_time += other.dedup_time
 
 
 @dataclass
@@ -118,8 +133,14 @@ class DiagnosisResult:
                  f"{len(self.distinct_sites())} distinct site(s); "
                  f"{self.stats.nodes} tree node(s) in "
                  f"{self.stats.total_time:.2f}s"]
+        if self.stats.dedup_merged:
+            lines[0] += (f" ({self.stats.dedup_merged} proven-equivalent"
+                         f" candidate(s) collapsed)")
         for sol in self.solutions[:20]:
-            lines.append(f"  - {sol.describe()}")
+            line = f"  - {sol.describe()}"
+            if sol.aliases:
+                line += " (== " + ", ".join(sol.aliases) + ")"
+            lines.append(line)
         if len(self.solutions) > 20:
             lines.append(f"  ... +{len(self.solutions) - 20} more")
         return "\n".join(lines)

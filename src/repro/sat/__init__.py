@@ -1,6 +1,6 @@
 """From-scratch CDCL SAT solver and CNF builders."""
 
-from .solver import SatSolver, SolverStats
+from .solver import SatSolver, SolverStats, luby
 from .cnf import CnfBuilder
 
-__all__ = ["SatSolver", "SolverStats", "CnfBuilder"]
+__all__ = ["SatSolver", "SolverStats", "CnfBuilder", "luby"]

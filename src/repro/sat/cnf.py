@@ -88,8 +88,19 @@ class CnfBuilder:
 
     # ------------------------------------------------------------------
     def at_most_k(self, variables: list[int], k: int) -> None:
-        """Sequential-counter encoding of sum(variables) <= k."""
+        """Sequential-counter encoding of sum(variables) <= k.
+
+        Edge cases are handled before the counter is built: ``k >= n``
+        is a tautology (no clauses), ``k == 0`` forces every literal
+        false with unit clauses, and ``k < 0`` is unsatisfiable (the sum
+        of any literal set is at least 0) — an empty clause marks the
+        whole formula UNSAT instead of crashing on a negative register
+        index.
+        """
         n = len(variables)
+        if k < 0:
+            self.add([])  # unsatisfiable: even the empty sum exceeds k
+            return
         if k >= n:
             return
         if k == 0:

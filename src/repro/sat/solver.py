@@ -1,9 +1,10 @@
 """A small CDCL SAT solver.
 
 Built from scratch for the SAT-based diagnosis baseline
-(:mod:`repro.diagnose.satdiag`): conflict-driven clause learning with
+(:mod:`repro.diagnose.satdiag`) and the proof-backed static analysis
+(:mod:`repro.analyze.prove`): conflict-driven clause learning with
 first-UIP learning, two-watched-literal propagation, activity-based
-(VSIDS-lite) decisions, geometric restarts and solution enumeration via
+(VSIDS-lite) decisions, Luby restarts and solution enumeration via
 blocking clauses.  It is deliberately compact rather than competitive —
 circuit-diagnosis CNFs at our benchmark sizes solve in milliseconds.
 
@@ -13,7 +14,24 @@ Literal convention: DIMACS-style nonzero ints; variable ``v`` is
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+
+
+def luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (1-indexed).
+
+    ``luby(i) = 2**(k-1)`` when ``i == 2**k - 1``; otherwise recurse on
+    ``i - (2**(k-1) - 1)`` for the largest ``k`` with ``2**(k-1) - 1 < i``.
+    Restart intervals scaled by this sequence are within a log factor of
+    the optimal universal restart strategy (Luby, Sinclair & Zuckerman).
+    """
+    if i < 1:
+        raise ValueError("luby sequence is 1-indexed")
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
 
 
 @dataclass
@@ -24,12 +42,20 @@ class SolverStats:
     learned: int = 0
     restarts: int = 0
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot (lint ``--format json``, bench records)."""
+        return asdict(self)
+
 
 class SatSolver:
     """CDCL solver over clauses added with :meth:`add_clause`."""
 
-    def __init__(self, num_vars: int = 0):
+    def __init__(self, num_vars: int = 0,
+                 restart_base: int | None = 100):
         self.num_vars = num_vars
+        # Conflicts before the first restart; later intervals are this
+        # base scaled by the Luby sequence.  None disables restarts.
+        self.restart_base = restart_base
         self.clauses: list[list[int]] = []
         self._watches: dict[int, list[int]] = {}
         self.assign: dict[int, bool] = {}
@@ -239,10 +265,15 @@ class SatSolver:
                     return False
         base_level = len(self._trail_lim)
         budget = conflict_limit
+        since_restart = 0
+        restart_count = 0
+        interval = (self.restart_base * luby(1)
+                    if self.restart_base else None)
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.stats.conflicts += 1
+                since_restart += 1
                 if budget is not None:
                     budget -= 1
                     if budget <= 0:
@@ -265,6 +296,16 @@ class SatSolver:
                               if len(learned) > 1 else None)
                 self._act_inc *= 1.05
             else:
+                if (interval is not None and since_restart >= interval
+                        and len(self._trail_lim) > base_level):
+                    # Luby restart: drop all decisions (learned clauses
+                    # and activities persist, so progress is kept).
+                    self._backjump(base_level)
+                    self.stats.restarts += 1
+                    restart_count += 1
+                    since_restart = 0
+                    interval = self.restart_base * luby(restart_count + 1)
+                    continue
                 var = self._decide()
                 if var is None:
                     return True

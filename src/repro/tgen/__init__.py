@@ -8,7 +8,8 @@ from .flows import diagnosis_vectors, deterministic_patterns
 from .distinguish import (distinguishing_vector,
                           distinguishing_vector_status,
                           random_distinguishing_vector,
-                          refine_diagnosis)
+                          refine_diagnosis,
+                          sat_distinguishing_vector)
 
 __all__ = [
     "coverage_driven_patterns", "patterns_from_vectors", "random_patterns",
@@ -17,4 +18,5 @@ __all__ = [
     "diagnosis_vectors", "deterministic_patterns",
     "distinguishing_vector", "distinguishing_vector_status",
     "random_distinguishing_vector", "refine_diagnosis",
+    "sat_distinguishing_vector",
 ]

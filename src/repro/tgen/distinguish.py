@@ -14,7 +14,12 @@ Two generators:
   two candidate netlists and asks PODEM for a test of the miter output
   stuck-at-0.  A test for that fault must set the output to 1, i.e.
   expose a disagreement — so PODEM either finds a distinguishing vector
-  or (within its backtrack budget) certifies functional equivalence.
+  or (within its backtrack budget) certifies functional equivalence;
+* :func:`sat_distinguishing_vector` — same contract through the CDCL
+  solver (:func:`repro.analyze.prove.prove_equivalent`): an UNSAT miter
+  is a *proof* of equivalence, a model is the distinguishing vector, and
+  the conflict budget bounds the worst case.  SAT handles reconvergent
+  XOR-heavy structures where PODEM's backtrack budget dies first.
 
 :func:`refine_diagnosis` applies this incrementally: while two candidate
 tuples are distinguishable, extend V with the distinguishing vector,
@@ -84,6 +89,28 @@ def distinguishing_vector_status(a: Netlist, b: Netlist,
     import random as _random
     vector = fill_assignment(miter, assignment, _random.Random(seed))
     return vector, "found"
+
+
+def sat_distinguishing_vector(a: Netlist, b: Netlist,
+                              conflict_limit: int = 20_000,
+                              seed: int = 0):
+    """Distinguishing vector via a budgeted SAT equivalence check.
+
+    Returns ``(vector, status)`` mirroring
+    :func:`distinguishing_vector_status`: ``("found")`` with the vector
+    from the SAT model, ``(None, "equivalent")`` when the miter is UNSAT
+    (a proof, not a budget artifact) or ``(None, "aborted")`` when the
+    conflict budget ran out.
+    """
+    from ..analyze.prove import ProofStatus, prove_equivalent
+
+    verdict = prove_equivalent(a, b, conflict_budget=conflict_limit,
+                               seed=seed)
+    if verdict.status is ProofStatus.PROVEN:
+        return None, "equivalent"
+    if verdict.status is ProofStatus.UNKNOWN:
+        return None, "aborted"
+    return [int(v) for v in verdict.counterexample], "found"
 
 
 def refine_diagnosis(device: Netlist, solutions, patterns: PatternSet,

@@ -1,0 +1,157 @@
+"""Prove rule group: planted defects must come back PROVEN, exactly.
+
+The planted workloads are *hash-blind*: the duplicate cones and
+constant lines are invisible to the structural normalization PR 3 uses
+(different gate decompositions of the same function), so a PROVEN
+verdict here can only come from the SAT sweep — which is the point of
+the rule group.
+"""
+
+import pytest
+
+from repro.analyze import lint_netlist
+from repro.circuit import GateType, Netlist
+
+
+def planted_duplicates() -> Netlist:
+    """XOR(a,b) next to its AND/OR decomposition — hash-blind twins."""
+    n = Netlist("dup")
+    a = n.add_input("a")
+    b = n.add_input("b")
+    x = n.add_gate("x", GateType.XOR, [a, b])
+    na = n.add_gate("na", GateType.NOT, [a])
+    nb = n.add_gate("nb", GateType.NOT, [b])
+    t1 = n.add_gate("t1", GateType.AND, [a, nb])
+    t2 = n.add_gate("t2", GateType.AND, [na, b])
+    y = n.add_gate("y", GateType.OR, [t1, t2])
+    n.set_outputs([x, y])
+    return n
+
+
+def planted_constant() -> Netlist:
+    """OR over all four minterms of two variables: constant 1, but
+    opaque to ternary propagation and hash cancellation alike."""
+    n = Netlist("const")
+    a = n.add_input("a")
+    b = n.add_input("b")
+    na = n.add_gate("na", GateType.NOT, [a])
+    nb = n.add_gate("nb", GateType.NOT, [b])
+    m0 = n.add_gate("m0", GateType.AND, [na, nb])
+    m1 = n.add_gate("m1", GateType.AND, [na, b])
+    m2 = n.add_gate("m2", GateType.AND, [a, nb])
+    m3 = n.add_gate("m3", GateType.AND, [a, b])
+    tank = n.add_gate("tank", GateType.OR, [m0, m1, m2, m3])
+    sink = n.add_gate("sink", GateType.AND, [tank, a])
+    n.set_outputs([sink])
+    return n
+
+
+def planted_redundant_fanin() -> Netlist:
+    """Absorption: AND(a, AND(a, b)) — pin 0 carries no information."""
+    n = Netlist("redun")
+    a = n.add_input("a")
+    b = n.add_input("b")
+    c = n.add_input("c")
+    ab = n.add_gate("ab", GateType.AND, [a, b])
+    absb = n.add_gate("absb", GateType.AND, [a, ab])
+    o = n.add_gate("o", GateType.OR, [absb, c])
+    n.set_outputs([o])
+    return n
+
+
+def findings(report, rule, severity=None):
+    return [d for d in report.diagnostics if d.rule == rule
+            and (severity is None or str(d.severity) == severity)]
+
+
+def test_planted_duplicates_reported_proven():
+    report = lint_netlist(planted_duplicates(), prove=True)
+    hits = findings(report, "proven-duplicate-logic", "warning")
+    assert len(hits) == 1
+    data = hits[0].data
+    assert data["status"] == "proven"
+    assert set(data["gates"]) == {"x", "y"}
+    assert data["proof"] == "sat-sweep"   # hash-blind: SAT had to work
+
+
+def test_planted_constant_reported_proven():
+    report = lint_netlist(planted_constant(), prove=True)
+    hits = findings(report, "proven-const-line", "warning")
+    assert any(d.gate == "tank" and d.data["value"] == 1
+               and d.data["status"] == "proven" for d in hits)
+    tank = next(d for d in hits if d.gate == "tank")
+    assert tank.data["proof"] == "sat-sweep"
+
+
+def test_planted_redundant_fanin_reported_proven():
+    report = lint_netlist(planted_redundant_fanin(), prove=True)
+    hits = findings(report, "proven-redundant-fanin", "warning")
+    assert any(d.gate == "absb" and d.data["pin"] == 0
+               and d.data["source"] == "a" for d in hits)
+
+
+def test_clean_circuit_yields_no_prove_findings(c17):
+    report = lint_netlist(c17, prove=True)
+    assert not findings(report, "proven-duplicate-logic", "warning")
+    assert not findings(report, "proven-const-line", "warning")
+    assert report.prove_stats is not None
+
+
+def test_prove_stats_in_json_report():
+    report = lint_netlist(planted_duplicates(), prove=True)
+    payload = report.to_dict()
+    stats = payload["prove_stats"]
+    assert stats["proven"] >= 1
+    assert "time_s" not in stats          # wall time is not reproducible
+    for key in ("decisions", "propagations", "conflicts", "restarts"):
+        assert key in stats["solver"]
+    # and the text reporter mentions the effort line
+    assert "SAT queries" in report.to_text()
+
+
+def test_prove_group_gated_on_errors():
+    n = Netlist("loop")
+    a = n.add_input("a")
+    g1 = n.add_gate("g1", GateType.AND, [a, a])
+    g2 = n.add_gate("g2", GateType.AND, [g1, a])
+    n.set_fanin(g1, [g2, a])              # combinational cycle
+    n.set_outputs([g2])
+    report = lint_netlist(n, prove=True)
+    assert not report.ok
+    assert "prove" in report.skipped_groups
+    assert report.prove_stats is None
+
+
+def test_unknown_budget_reported_as_info():
+    """With a 1-conflict budget the parity twins stay undecided: the
+    finding must be INFO/unknown, never a silent drop or false PROVEN."""
+    n = Netlist("parity")
+    ins = [n.add_input(f"i{k}") for k in range(6)]
+    left = n.add_gate("left", GateType.XOR, ins)
+    h1 = n.add_gate("h1", GateType.XOR, ins[:3])
+    h2 = n.add_gate("h2", GateType.XOR, ins[3:])
+    right = n.add_gate("right", GateType.XOR, [h1, h2])
+    n.set_outputs([left, right])
+    report = lint_netlist(n, prove=True, prove_budget=1)
+    unknowns = findings(report, "proven-duplicate-logic", "info")
+    assert any(d.data["status"] == "unknown" for d in unknowns)
+    assert not findings(report, "proven-duplicate-logic", "warning")
+    assert report.prove_stats["unknown"] >= 1
+
+
+def test_near_miss_refutation_carries_counterexample():
+    """Every refuted near-miss INFO finding carries the refuting
+    vector, machine-readable, in its data payload."""
+    report = lint_netlist(planted_constant(), prove=True)
+    for d in findings(report, "proven-duplicate-logic", "info"):
+        if d.data["status"] == "refuted":
+            assert isinstance(d.data["counterexample"], list)
+            assert d.data["counterexample"]
+
+
+def test_suppression_works_for_prove_rules():
+    report = lint_netlist(planted_duplicates(), prove=True,
+                          suppress=["proven-duplicate-logic"])
+    assert not findings(report, "proven-duplicate-logic")
+    with pytest.raises(KeyError):
+        lint_netlist(planted_duplicates(), suppress=["proven-typo"])

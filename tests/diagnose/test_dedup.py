@@ -1,0 +1,124 @@
+"""SAT-backed candidate dedup: planted-workload regression tests.
+
+The planted workload is a buffered AND driving an OR: a stuck-at-0
+anywhere on the x/y/n1/n2 chain yields the *identical* repaired
+function, so exact diagnosis reports four correction tuples that no
+vector set can ever tell apart.  With ``prove_dedup`` on, the pass must
+collapse them into one representative carrying the others as aliases —
+and say so in ``EngineStats``.
+"""
+
+import dataclasses
+
+from repro.circuit import GateType, Netlist
+from repro.diagnose import (DiagnosisConfig, EngineStats,
+                            IncrementalDiagnoser, Mode, Solution,
+                            dedup_solutions, rectifies)
+from repro.sim import PatternSet
+
+
+def planted_netlist() -> Netlist:
+    n = Netlist("plant")
+    x = n.add_input("x")
+    y = n.add_input("y")
+    z = n.add_input("z")
+    n1 = n.add_gate("n1", GateType.AND, [x, y])
+    n2 = n.add_gate("n2", GateType.BUF, [n1])
+    o = n.add_gate("o", GateType.OR, [n2, z])
+    n.set_outputs([o])
+    return n
+
+
+def run_diagnosis(prove_dedup: bool):
+    good = planted_netlist()
+    faulty = planted_netlist()
+    faulty.tie_stem_to_constant(faulty.index_of("n1"), 0)  # sa0@n1
+    patterns = PatternSet.exhaustive(3)
+    config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                             max_errors=1, prove_dedup=prove_dedup)
+    return (IncrementalDiagnoser(faulty, good, patterns, config).run(),
+            faulty, patterns)
+
+
+def test_planted_equivalent_corrections_collapse():
+    plain, _faulty, _patterns = run_diagnosis(prove_dedup=False)
+    assert len(plain.solutions) >= 2          # the inflation is real
+    assert plain.stats.dedup_checked == 0     # off by default
+
+    deduped, faulty, patterns = run_diagnosis(prove_dedup=True)
+    assert len(deduped.solutions) < len(plain.solutions)
+    assert deduped.stats.dedup_merged >= 1    # the collapse is reported
+    assert deduped.stats.dedup_checked >= deduped.stats.dedup_merged
+    rep = deduped.solutions[0]
+    assert len(rep.aliases) == deduped.stats.dedup_merged
+    assert rectifies(faulty, rep.netlist, patterns)
+    # aliases are rendered in the summary
+    assert "collapsed" in deduped.summary()
+    assert "==" in deduped.summary()
+
+
+def test_dedup_never_merges_distinguishable_candidates(c17):
+    """On a real circuit, dedup must keep candidates that differ: every
+    survivor's repaired netlist stays pairwise SAT-distinguishable."""
+    from repro.faults import inject_stuck_at_faults
+    from repro.tgen import sat_distinguishing_vector
+
+    workload = inject_stuck_at_faults(c17, 1, seed=1)
+    patterns = PatternSet.random(5, 24, seed=0)   # few vectors: aliases
+    config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                             max_errors=1, prove_dedup=True)
+    result = IncrementalDiagnoser(workload.impl, c17, patterns,
+                                  config).run()
+    survivors = [s for s in result.solutions if s.netlist is not None]
+    for i in range(len(survivors)):
+        for j in range(i + 1, len(survivors)):
+            _vec, status = sat_distinguishing_vector(
+                survivors[i].netlist, survivors[j].netlist)
+            assert status == "found", \
+                "two equivalent candidates survived the dedup pass"
+
+
+def test_dedup_solutions_skips_netlist_free_entries():
+    rec = object()
+    bare = Solution(records=(), netlist=None)
+    stats = EngineStats()
+    kept = dedup_solutions([bare, bare], stats)
+    assert kept == [bare, bare]               # nothing to compare
+    assert stats.dedup_checked == 0
+    del rec
+
+
+def test_unknown_budget_never_merges():
+    """A conflict budget of 0 conflicts' worth of work must leave the
+    candidates separate and count the unknowns — a budget exhaustion is
+    not an equivalence proof."""
+    nl_a = planted_netlist()
+    nl_b = planted_netlist()
+    nl_b.tie_stem_to_constant(nl_b.index_of("n1"), 0)
+    sol_a = Solution(records=("a",), netlist=nl_a)
+    sol_b = Solution(records=("b",), netlist=nl_b)
+    stats = EngineStats()
+    kept = dedup_solutions([sol_a, sol_b], stats, conflict_budget=1)
+    # equal or not, nothing may merge without a completed proof
+    assert (len(kept) == 2) == (stats.dedup_merged == 0)
+    if stats.dedup_merged == 0 and stats.dedup_unknown == 0:
+        # the solver refuted it outright — also a completed answer
+        assert stats.dedup_checked == 1
+
+
+def test_engine_stats_merge_accumulates_dedup_counters():
+    a = EngineStats(dedup_checked=2, dedup_merged=1, dedup_unknown=1,
+                    dedup_time=0.5)
+    b = EngineStats(dedup_checked=3, dedup_merged=2, dedup_unknown=0,
+                    dedup_time=0.25)
+    a.merge(b)
+    assert (a.dedup_checked, a.dedup_merged, a.dedup_unknown) == (5, 3, 1)
+    assert a.dedup_time == 0.75
+
+
+def test_solution_aliases_survive_replace():
+    sol = Solution(records=(), netlist=None)
+    assert sol.aliases == ()
+    sol2 = dataclasses.replace(sol, aliases=("sa0@n2",))
+    assert sol2.aliases == ("sa0@n2",)
+    assert sol.aliases == ()

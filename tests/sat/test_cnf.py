@@ -77,3 +77,57 @@ def test_at_least_one():
     assert solver.solve(assumptions=[-v for v in variables]) is False
     assert solver.solve(assumptions=[-variables[0],
                                      -variables[1]]) is True
+
+
+# ----------------------------------------------------------------------
+# at_most_k edge cases: exhaustive over every assignment for small n, k
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", range(5))
+@pytest.mark.parametrize("k", range(-1, 6))
+def test_at_most_k_exhaustive_small(n, k):
+    """For every assignment of n variables, SAT under assumptions iff
+    the assignment sets at most k of them true — including k=0 (all
+    forced false), k>=n (tautology) and k<0 (whole formula UNSAT)."""
+    builder = CnfBuilder()
+    variables = [builder.new_var() for _ in range(n)]
+    builder.at_most_k(variables, k)
+    solver = builder.solver
+    for bits in itertools.product([False, True], repeat=n):
+        assumptions = [v if b else -v for v, b in zip(variables, bits)]
+        expected = sum(bits) <= k
+        assert solver.solve(assumptions=assumptions) is expected, \
+            (n, k, bits)
+
+
+def test_at_most_k_zero_adds_only_unit_clauses():
+    builder = CnfBuilder()
+    variables = [builder.new_var() for _ in range(4)]
+    before = builder.solver.num_vars
+    builder.at_most_k(variables, 0)
+    assert builder.solver.num_vars == before   # no counter registers
+    assert builder.solver.solve() is True
+    assert all(builder.solver.model()[v] is False for v in variables)
+
+
+def test_at_most_k_tautology_adds_nothing():
+    builder = CnfBuilder()
+    variables = [builder.new_var() for _ in range(3)]
+    builder.at_most_k(variables, 3)
+    builder.at_most_k(variables, 7)
+    assert not builder.solver.clauses
+    assert builder.solver.solve(assumptions=variables) is True
+
+
+def test_at_most_k_negative_is_unsat():
+    builder = CnfBuilder()
+    variables = [builder.new_var() for _ in range(3)]
+    builder.at_most_k(variables, -1)
+    assert builder.solver.solve() is False
+
+
+def test_at_most_k_empty_variable_list():
+    builder = CnfBuilder()
+    builder.at_most_k([], 0)     # 0 <= 0: fine
+    assert builder.solver.solve() is True
+    builder.at_most_k([], -1)    # 0 <= -1: impossible
+    assert builder.solver.solve() is False

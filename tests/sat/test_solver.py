@@ -115,3 +115,82 @@ def test_conflict_limit_returns_none():
                 solver.add_clause([-var(p1, h), -var(p2, h)])
     assert solver.solve(conflict_limit=1) is None
     assert solver.solve() is False  # and solvable without the limit
+
+
+# ----------------------------------------------------------------------
+# Luby restarts
+# ----------------------------------------------------------------------
+def test_luby_sequence_values():
+    from repro.sat.solver import luby
+    want = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+    assert [luby(i) for i in range(1, len(want) + 1)] == want
+    with pytest.raises(ValueError):
+        luby(0)
+
+
+def pigeonhole(solver, pigeons=5, holes=4):
+    def var(p, h):
+        return p * holes + h + 1
+    for p in range(pigeons):
+        solver.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-var(p1, h), -var(p2, h)])
+
+
+def test_restarts_fire_and_preserve_unsat():
+    solver = SatSolver(restart_base=2)
+    pigeonhole(solver)
+    assert solver.solve() is False
+    assert solver.stats.restarts > 0
+
+
+def test_restarts_disabled_with_none():
+    solver = SatSolver(restart_base=None)
+    pigeonhole(solver)
+    assert solver.solve() is False
+    assert solver.stats.restarts == 0
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_restart_correctness_vs_brute_force(seed):
+    """Aggressive restarts must not change any answer."""
+    rng = random.Random(seed)
+    for _ in range(40):
+        num_vars = rng.randint(3, 10)
+        clauses = [[rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 3))]
+                   for _ in range(rng.randint(2, num_vars * 4))]
+        solver = SatSolver(num_vars, restart_base=1)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() == brute_force_sat(num_vars, clauses), \
+            clauses
+
+
+def test_solver_stats_to_dict():
+    solver = SatSolver(restart_base=2)
+    pigeonhole(solver)
+    solver.solve()
+    snapshot = solver.stats.to_dict()
+    assert set(snapshot) == {"decisions", "propagations", "conflicts",
+                             "learned", "restarts"}
+    assert snapshot["conflicts"] > 0
+    assert snapshot["restarts"] == solver.stats.restarts
+
+
+def test_restarts_respect_assumption_level():
+    """Restarting must never pop assumptions: SAT answers under
+    assumptions stay consistent with them."""
+    solver = SatSolver(restart_base=1)
+    rng = random.Random(7)
+    num_vars = 8
+    for _ in range(20):
+        solver.add_clause([rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                           for _ in range(3)])
+    assumptions = [1, -2]
+    if solver.solve(assumptions=assumptions) is True:
+        model = solver.model()
+        assert model[1] is True
+        assert model[2] is False

@@ -221,3 +221,124 @@ def test_diagnose_with_invariant_checks(tmp_path, capsys):
                "--vectors", "256", "--max-errors", "1",
                "--check-invariants"])
     assert rc == 0
+
+
+def _dump_twin_netlists(tmp_path):
+    """AND(a,b) in two shapes plus an OR imposter, on disk."""
+    from repro.circuit import GateType, Netlist
+    plain = Netlist("plain")
+    a = plain.add_input("a")
+    b = plain.add_input("b")
+    o = plain.add_gate("o", GateType.AND, [a, b])
+    plain.set_outputs([o])
+    morgan = Netlist("morgan")
+    a2 = morgan.add_input("a")
+    b2 = morgan.add_input("b")
+    na = morgan.add_gate("na", GateType.NOT, [a2])
+    nb = morgan.add_gate("nb", GateType.NOT, [b2])
+    o2 = morgan.add_gate("o", GateType.NOR, [na, nb])
+    morgan.set_outputs([o2])
+    imposter = Netlist("imposter")
+    a3 = imposter.add_input("a")
+    b3 = imposter.add_input("b")
+    o3 = imposter.add_gate("o", GateType.OR, [a3, b3])
+    imposter.set_outputs([o3])
+    paths = []
+    for nl in (plain, morgan, imposter):
+        path = tmp_path / f"{nl.name}.bench"
+        bench_io.dump(nl, path)
+        paths.append(str(path))
+    return paths
+
+
+def test_prove_equivalent_exits_zero(tmp_path, capsys):
+    plain, morgan, _ = _dump_twin_netlists(tmp_path)
+    assert main(["prove", plain, morgan]) == 0
+    assert "proven equivalent" in capsys.readouterr().out
+
+
+def test_prove_different_prints_vector(tmp_path, capsys):
+    plain, _, imposter = _dump_twin_netlists(tmp_path)
+    assert main(["prove", plain, imposter]) == 1
+    out = capsys.readouterr().out
+    assert "distinguishing vector" in out
+    assert "a=" in out and "b=" in out
+
+
+def test_prove_unreadable_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.bench"
+    bad.write_text("INPUT(broken\n")
+    plain, _, _ = _dump_twin_netlists(tmp_path)
+    assert main(["prove", plain, str(bad)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_prove_applied_correction_roundtrip(tmp_path, capsys):
+    """The before/after-correction use case from the issue: a netlist
+    and a copy with a correction applied at an equivalent point."""
+    from repro.circuit import GateType, Netlist
+    n = Netlist("plant")
+    x = n.add_input("x")
+    y = n.add_input("y")
+    n1 = n.add_gate("n1", GateType.AND, [x, y])
+    n2 = n.add_gate("n2", GateType.BUF, [n1])
+    n.set_outputs([n2])
+    stem = n.copy("stem_fix")
+    stem.tie_stem_to_constant(stem.index_of("n1"), 0)
+    branch = n.copy("branch_fix")
+    branch.tie_stem_to_constant(branch.index_of("n2"), 0)
+    p1 = tmp_path / "stem.bench"
+    p2 = tmp_path / "branch.bench"
+    bench_io.dump(stem, p1)
+    bench_io.dump(branch, p2)
+    assert main(["prove", str(p1), str(p2)]) == 0
+    capsys.readouterr()
+
+
+def test_lint_prove_json_carries_stats(tmp_path, capsys):
+    import json as _json
+    from repro.circuit import GateType, Netlist
+    n = Netlist("dup")
+    a = n.add_input("a")
+    b = n.add_input("b")
+    x = n.add_gate("x", GateType.XOR, [a, b])
+    na = n.add_gate("na", GateType.NOT, [a])
+    nb = n.add_gate("nb", GateType.NOT, [b])
+    t1 = n.add_gate("t1", GateType.AND, [a, nb])
+    t2 = n.add_gate("t2", GateType.AND, [na, b])
+    y = n.add_gate("y", GateType.OR, [t1, t2])
+    n.set_outputs([x, y])
+    path = tmp_path / "dup.bench"
+    bench_io.dump(n, path)
+    assert main(["lint", "--prove", "--format", "json",
+                 str(path)]) == 0
+    payload = _json.loads(capsys.readouterr().out)
+    report = payload[0]
+    stats = report["prove_stats"]
+    assert stats["proven"] >= 1
+    assert "solver" in stats
+    rules = {d["rule"] for d in report["diagnostics"]}
+    assert "proven-duplicate-logic" in rules
+
+
+def test_lint_list_rules_includes_prove_group(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "proven-const-line" in out
+    assert "proven-duplicate-logic" in out
+    assert "proven-redundant-fanin" in out
+
+
+def test_diagnose_prove_dedup_flag(tmp_path, capsys):
+    spec_path = tmp_path / "spec.bench"
+    impl_path = tmp_path / "impl.bench"
+    bench_io.dump(generators.c17(), spec_path)
+    assert main(["inject", str(spec_path), str(impl_path),
+                 "--faults", "1", "--seed", "3"]) == 0
+    capsys.readouterr()
+    rc = main(["diagnose", str(spec_path), str(impl_path),
+               "--mode", "stuck-at", "--vectors", "64",
+               "--max-errors", "1", "--prove-dedup"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "correction set" in out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit import GateType, generators
+from repro.circuit import GateType
 from repro.diagnose import DiagnosisConfig, IncrementalDiagnoser, Mode
 from repro.faults import inject_stuck_at_faults
 from repro.sim import PatternSet
@@ -82,3 +82,68 @@ def test_refine_diagnosis_prunes_candidates(c17):
     from repro.diagnose import rectifies
     for solution in survivors:
         assert rectifies(workload.impl, solution.netlist, extended)
+
+
+# ----------------------------------------------------------------------
+# SAT-backed distinguishing vectors
+# ----------------------------------------------------------------------
+def test_sat_equivalent_is_a_proof(c17):
+    from repro.tgen import sat_distinguishing_vector
+    vector, status = sat_distinguishing_vector(c17, c17.copy())
+    assert vector is None
+    assert status == "equivalent"
+
+
+def test_sat_finds_subtle_difference():
+    """The single-minterm case PODEM needs a search for: the SAT model
+    hands the all-ones vector over directly."""
+    from repro.circuit import Netlist
+    from repro.tgen import sat_distinguishing_vector
+    nl = Netlist("wide_and")
+    ins = [nl.add_input(f"i{k}") for k in range(12)]
+    g = nl.add_gate("g", GateType.AND, ins)
+    nl.set_outputs([g])
+    third = nl.copy("const0")
+    zero = third.add_gate("z", GateType.CONST0)
+    third.set_outputs([zero])
+    vector, status = sat_distinguishing_vector(nl, third, seed=1)
+    assert status == "found"
+    assert vector[:12] == [1] * 12
+
+
+def test_sat_vector_distinguishes_when_resimulated(c17):
+    import numpy as np
+    from repro.sim import output_rows, simulate
+    from repro.sim.packing import pack_bits
+    from repro.tgen import sat_distinguishing_vector
+    other = c17.copy("mut")
+    other.set_gate_type(other.index_of("22"), GateType.AND)
+    vector, status = sat_distinguishing_vector(c17, other)
+    assert status == "found"
+    probe = PatternSet(pack_bits(
+        np.asarray([vector], dtype=np.uint8).T), 1)
+    a = output_rows(c17, simulate(c17, probe))
+    b = output_rows(other, simulate(other, probe))
+    assert (a[:, 0] & np.uint64(1)).tolist() \
+        != (b[:, 0] & np.uint64(1)).tolist()
+
+
+def test_sat_aborts_honestly_on_tiny_budget():
+    from repro.circuit import Netlist
+    from repro.tgen import sat_distinguishing_vector
+    nl = Netlist("parity_a")
+    ins = [nl.add_input(f"i{k}") for k in range(8)]
+    g = nl.add_gate("g", GateType.XOR, ins)
+    nl.set_outputs([g])
+    other = Netlist("parity_b")
+    ins2 = [other.add_input(f"i{k}") for k in range(8)]
+    h1 = other.add_gate("h1", GateType.XOR, ins2[:4])
+    h2 = other.add_gate("h2", GateType.XOR, ins2[4:])
+    g2 = other.add_gate("g", GateType.XOR, [h1, h2])
+    other.set_outputs([g2])
+    vector, status = sat_distinguishing_vector(nl, other,
+                                               conflict_limit=1)
+    assert vector is None
+    assert status == "aborted"
+    vector, status = sat_distinguishing_vector(nl, other)
+    assert status == "equivalent"
