@@ -19,6 +19,12 @@ A static-analysis engine over :class:`~repro.circuit.netlist.Netlist`:
   proven-duplicate logic and proven-redundant fanins, each verdict
   three-valued with the refuting counterexample attached when one
   exists (opt-in via ``lint_netlist(prove=True)``);
+* *seq* rules backed by the sequential engine
+  (:mod:`~repro.analyze.seq`): a reset-state ternary fixpoint and
+  SAT-backed k-induction correspondence prove stuck registers,
+  sequential constants, redundant registers and sequential
+  equivalences at every cycle from reset; refutations carry the
+  concrete input sequence (opt-in via ``lint_netlist(seq=True)``);
 * severity levels (error / warning / info) with per-rule suppression;
 * text and JSON reporters (:class:`LintReport`);
 * :class:`InvariantChecker`, a debug-mode guard over the engine's
@@ -41,10 +47,14 @@ from .lint import (DEFAULT_GROUPS, GROUP_ORDER, LOAD_POLICIES,
 from .prove import (ProofStatus, ProvenConstant, Prover, SweepResult,
                     SweepStats, Verdict, prove_equivalent)
 from .report import LintReport
+from .seq import (ResetFixpoint, SeqConstant, SeqProver, SeqStats,
+                  SeqSweepResult, SeqTrace, SeqVerdict, replay_trace,
+                  reset_fixpoint, seq_masked_signals)
 
 # Importing the rule modules registers the built-in rules.
 from . import rules_structural, rules_semantic, rules_deep  # noqa: E402,F401
 from . import rules_prove  # noqa: E402,F401
+from . import rules_seq  # noqa: E402,F401
 
 __all__ = [
     "AnalysisContext", "DEFAULT_REGISTRY", "Diagnostic", "Rule",
@@ -57,5 +67,8 @@ __all__ = [
     "set_load_lint_policy",
     "ProofStatus", "ProvenConstant", "Prover", "SweepResult",
     "SweepStats", "Verdict", "prove_equivalent",
+    "ResetFixpoint", "SeqConstant", "SeqProver", "SeqStats",
+    "SeqSweepResult", "SeqTrace", "SeqVerdict", "replay_trace",
+    "reset_fixpoint", "seq_masked_signals",
     "LintReport",
 ]

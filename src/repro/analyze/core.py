@@ -82,6 +82,9 @@ class AnalysisContext:
         #: Per-query conflict budget for the ``prove`` rule group
         #: (None = the engine default); set by the lint driver.
         self.prove_budget: int | None = None
+        #: Per-query conflict budget for the ``seq`` rule group
+        #: (None = the engine default); set by the lint driver.
+        self.seq_budget: int | None = None
         self._fanouts: list[list[int]] | None = None
         self._live: set[int] | None = None
 

@@ -237,10 +237,18 @@ class TernaryConstants(DataflowDomain):
     terminates.  Inside combinational cycles the least fixed point keeps
     X unless a value is forced from outside the cycle — the sound answer
     for an oscillator.
+
+    ``assume`` optionally pins cut signals (``INPUT``/``DFF`` gates,
+    which otherwise start and stay X) to a known value — the hook the
+    sequential reset fixpoint uses to replay per-cycle register state
+    through the unchanged combinational analysis.
     """
 
     direction = "forward"
     iterate_cycles = True
+
+    def __init__(self, assume: Optional[Dict[int, Optional[int]]] = None):
+        self.assume: Dict[int, Optional[int]] = dict(assume or {})
 
     def start(self, gate: Gate) -> Optional[int]:
         return None
@@ -253,7 +261,7 @@ class TernaryConstants(DataflowDomain):
         if gt is GateType.CONST1:
             return 1
         if gt in (GateType.INPUT, GateType.DFF):
-            return None
+            return self.assume.get(gate.index)
         ins = [values[src] for src in gate.fanin]
         if gt is GateType.BUF:
             return ins[0]
@@ -650,6 +658,8 @@ class NetlistFacts:
         self._cones: Dict[int, frozenset] = {}
         self._blocked: Dict[bool, frozenset] = {}
         self._prover: Optional[object] = None
+        self._seq_prover: Optional[object] = None
+        self._reset: Dict[tuple, object] = {}
 
     # -- constants -----------------------------------------------------
     def constants(self) -> Dict[int, int]:
@@ -888,8 +898,60 @@ class NetlistFacts:
             self._prover.conflict_budget = conflict_budget
         return self._prover
 
+    # -- sequential facts -----------------------------------------------
+    def reset_fixpoint(self, initial_state=0):
+        """The reset-state ternary fixpoint of this netlist, cached per
+        initial state (see :func:`repro.analyze.seq.reset_fixpoint`).
+
+        Like every other section of the bundle the result describes one
+        structural snapshot and is dropped by :meth:`Netlist._dirty`.
+        """
+        from ..circuit.sequential import normalize_initial_state
+        from .seq import reset_fixpoint
+
+        state = normalize_initial_state(self.netlist, initial_state)
+        key = tuple(sorted(state.items(),
+                           key=lambda kv: (kv[0], kv[1] is None)))
+        cached = self._reset.get(key)
+        if cached is None:
+            cached = reset_fixpoint(self.netlist, state)
+            self._reset[key] = cached
+        return cached
+
+    def seq_prover(self, k: Optional[int] = None,
+                   conflict_budget: Optional[int] = None,
+                   nvectors: Optional[int] = None, seed: int = 0,
+                   initial_state=0):
+        """The k-induction correspondence prover, built once per snapshot.
+
+        Mirrors :meth:`prover`: the
+        :class:`~repro.analyze.seq.SeqProver` carries the unrolled
+        Tseitin encodings and the per-frame simulation signatures, so
+        caching it here ties its lifetime to the facts bundle and
+        :meth:`Netlist._dirty` invalidates it with everything else.
+        ``conflict_budget`` updates the cached instance's per-query
+        budget; ``k``/``nvectors``/``seed``/``initial_state`` only apply
+        on first construction.
+        """
+        from .seq import (DEFAULT_INDUCTION_K, DEFAULT_SEQ_BUDGET,
+                          DEFAULT_SEQ_VECTORS, SeqProver)
+
+        if self._seq_prover is None:
+            self._seq_prover = SeqProver(
+                self.netlist, facts=self,
+                k=DEFAULT_INDUCTION_K if k is None else k,
+                conflict_budget=(DEFAULT_SEQ_BUDGET
+                                 if conflict_budget is None
+                                 else conflict_budget),
+                nvectors=(DEFAULT_SEQ_VECTORS if nvectors is None
+                          else nvectors),
+                seed=seed, initial_state=initial_state)
+        elif conflict_budget is not None:
+            self._seq_prover.conflict_budget = conflict_budget
+        return self._seq_prover
+
     # -- reporting ------------------------------------------------------
-    def summary(self, deep: bool = True) -> dict:
+    def summary(self, deep: bool = True, seq: bool = False) -> dict:
         """Deterministic JSON-ready digest (the ``repro facts`` CLI)."""
         names = [g.name for g in self.netlist.gates]
         consts = self.constants()
@@ -918,6 +980,28 @@ class NetlistFacts:
         }
         if deep:
             out["implications"] = self.implications().edge_count()
+        if seq and self.netlist.dffs():
+            fx = self.reset_fixpoint()
+            result = self.seq_prover().sweep()
+            comb = self.constants()
+            out["seq"] = {
+                "fixpoint_iterations": fx.iterations,
+                "stuck_registers": {
+                    names[d]: v
+                    for d, v in sorted(fx.stuck_registers.items())},
+                "seq_constants": {
+                    names[i]: v for i, v in sorted(fx.constants.items())
+                    if i not in comb
+                    and i not in fx.stuck_registers},
+                "induction_k": result.k,
+                "proven_constants": {
+                    names[i]: pc.value
+                    for i, pc in sorted(result.constants.items())
+                    if i not in comb},
+                "proven_classes": sorted(
+                    [sorted(names[s] for s, _ph in members)
+                     for members in result.classes]),
+            }
         return out
 
 

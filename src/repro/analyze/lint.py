@@ -32,8 +32,9 @@ from .report import LintReport
 
 #: Rule-group execution order; later groups require earlier ones clean.
 #: ``deep`` (dataflow-backed rules) is opt-in via ``deep=True``;
-#: ``prove`` (SAT-backed rules) via ``prove=True``.
-GROUP_ORDER = ("structural", "semantic", "deep", "prove")
+#: ``prove`` (SAT-backed rules) via ``prove=True``; ``seq``
+#: (sequential fixpoint + k-induction rules) via ``seq=True``.
+GROUP_ORDER = ("structural", "semantic", "deep", "prove", "seq")
 
 #: Groups run when the caller does not ask for anything special.
 DEFAULT_GROUPS = ("structural", "semantic")
@@ -66,7 +67,9 @@ def lint_netlist(netlist: Netlist,
                  groups: Iterable[str] | None = None,
                  deep: bool = False,
                  prove: bool = False,
-                 prove_budget: int | None = None) -> LintReport:
+                 prove_budget: int | None = None,
+                 seq: bool = False,
+                 seq_budget: int | None = None) -> LintReport:
     """Run every (non-suppressed) rule and collect the findings.
 
     Args:
@@ -75,8 +78,9 @@ def lint_netlist(netlist: Netlist,
         suppress: rule ids to skip; unknown ids raise ``KeyError`` so
             typos don't silently disable nothing.
         groups: restrict to these rule groups (default:
-            :data:`DEFAULT_GROUPS`, plus ``deep``/``prove`` when
-            requested).
+            :data:`DEFAULT_GROUPS`, plus ``deep``/``prove``/``seq``
+            when requested); names outside :data:`GROUP_ORDER` raise
+            ``ValueError`` so typos don't silently run nothing.
         deep: also run the dataflow-backed ``deep`` group (provable
             constants, duplicate logic, ODC-masked lines).  These rules
             compute fixed points over the netlist and cost noticeably
@@ -88,29 +92,44 @@ def lint_netlist(netlist: Netlist,
         prove_budget: per-query conflict budget for the prove group
             (default: the engine's
             :data:`~repro.analyze.prove.DEFAULT_CONFLICT_BUDGET`).
+        seq: also run the sequential ``seq`` group (reset fixpoint +
+            k-induction: stuck registers, sequential constants,
+            redundant registers, sequential equivalences).  Costs
+            unrolled solver time, hence opt-in; effort accounting
+            lands in :attr:`LintReport.seq_stats`.
+        seq_budget: per-query conflict budget for the seq group
+            (default: the engine's
+            :data:`~repro.analyze.seq.DEFAULT_SEQ_BUDGET`).
     """
     registry = registry or DEFAULT_REGISTRY
     suppressed = list(suppress)
     for rule_id in suppressed:
         registry.get(rule_id)  # raises KeyError on unknown ids
+    opted = {"deep": deep, "prove": prove, "seq": seq}
     if groups is not None:
         wanted = tuple(groups)
-        if deep and "deep" not in wanted:
-            wanted = wanted + ("deep",)
-        if prove and "prove" not in wanted:
-            wanted = wanted + ("prove",)
+        unknown = sorted(set(wanted) - set(GROUP_ORDER))
+        if unknown:
+            raise ValueError(
+                f"unknown lint group(s) {', '.join(map(repr, unknown))}; "
+                f"pick from {', '.join(GROUP_ORDER)}")
+        for group, on in opted.items():
+            if on and group not in wanted:
+                wanted = wanted + (group,)
     else:
         wanted = tuple(g for g in GROUP_ORDER
-                       if g in DEFAULT_GROUPS
-                       or (g == "deep" and deep)
-                       or (g == "prove" and prove))
+                       if g in DEFAULT_GROUPS or opted.get(g, False))
     report = LintReport(netlist.name, suppressed=suppressed)
     ctx = AnalysisContext(netlist)
     ctx.prove_budget = prove_budget
-    for group in GROUP_ORDER:
+    ctx.seq_budget = seq_budget
+    for position, group in enumerate(GROUP_ORDER):
         if group not in wanted:
             continue
-        if group != "structural" and any(
+        # Every group after the first requires the run error-free so
+        # far: their traversals assume the invariants the earlier
+        # groups police (derived from position, not hard-coded names).
+        if position > 0 and any(
                 d.severity is Severity.ERROR for d in report.diagnostics):
             report.skipped_groups.append(group)
             continue
@@ -118,11 +137,17 @@ def lint_netlist(netlist: Netlist,
             if rule.id in suppressed:
                 continue
             report.diagnostics.extend(rule.run(ctx))
-        if group == "prove":
+        if group in ("prove", "seq"):
             from .dataflow import netlist_facts
-            prover = netlist_facts(netlist)._prover
-            if prover is not None:
-                report.prove_stats = prover.stats_snapshot()
+            facts = netlist_facts(netlist)
+            engine = (facts._prover if group == "prove"
+                      else facts._seq_prover)
+            if engine is not None:
+                snapshot = engine.stats_snapshot()
+                if group == "prove":
+                    report.prove_stats = snapshot
+                else:
+                    report.seq_stats = snapshot
     return report
 
 

@@ -53,7 +53,7 @@ from ..sat.solver import SatSolver
 
 __all__ = [
     "ProofStatus", "Verdict", "ProvenConstant", "SweepStats",
-    "SweepResult", "Prover", "prove_equivalent",
+    "SweepResult", "Prover", "prove_equivalent", "eval_row",
     "DEFAULT_CONFLICT_BUDGET", "DEFAULT_VECTORS",
 ]
 
@@ -263,6 +263,12 @@ def _eval_row(gtype: GateType, rows: Sequence[int], mask: int) -> int:
     for row in rows[1:]:
         acc ^= row
     return acc ^ mask if gtype is GateType.XNOR else acc
+
+
+#: Public alias of the packed-row gate evaluator — the sequential
+#: signature simulator (:mod:`repro.analyze.seq`) runs the same kernel
+#: frame by frame.
+eval_row = _eval_row
 
 
 # ----------------------------------------------------------------------

@@ -21,6 +21,10 @@ class LintReport:
         prove_stats: effort accounting of the SAT-sweep when the
             ``prove`` group ran (queries, proven/refuted/unknown
             counts, conflicts, solver stats), else ``None``.
+        seq_stats: effort accounting of the sequential sweep when the
+            ``seq`` group ran (induction depth, fixpoint iterations,
+            base/step queries, proven/refuted/unknown counts,
+            conflicts), else ``None``.
     """
 
     netlist_name: str
@@ -28,6 +32,7 @@ class LintReport:
     skipped_groups: list[str] = field(default_factory=list)
     suppressed: list[str] = field(default_factory=list)
     prove_stats: dict | None = None
+    seq_stats: dict | None = None
 
     # ------------------------------------------------------------------
     def by_severity(self, severity: Severity) -> list[Diagnostic]:
@@ -90,6 +95,18 @@ class LintReport:
                 f"{self.prove_stats.get('refuted', 0)} refuted, "
                 f"{self.prove_stats.get('unknown', 0)} unknown, "
                 f"{self.prove_stats.get('conflicts', 0)} conflicts")
+        if self.seq_stats:
+            lines.append(
+                f"{self.netlist_name}: seq: "
+                f"k={self.seq_stats.get('k', 0)}, "
+                f"{self.seq_stats.get('fixpoint_iterations', 0)} "
+                f"fixpoint sweep(s), "
+                f"{self.seq_stats.get('base_queries', 0)} base + "
+                f"{self.seq_stats.get('step_queries', 0)} step queries, "
+                f"{self.seq_stats.get('proven', 0)} proven, "
+                f"{self.seq_stats.get('refuted', 0)} refuted, "
+                f"{self.seq_stats.get('unknown', 0)} unknown, "
+                f"{self.seq_stats.get('conflicts', 0)} conflicts")
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -114,6 +131,10 @@ class LintReport:
             stats = dict(self.prove_stats)
             stats.pop("time_s", None)  # wall time is not reproducible
             out["prove_stats"] = stats
+        if self.seq_stats is not None:
+            stats = dict(self.seq_stats)
+            stats.pop("time_s", None)  # wall time is not reproducible
+            out["seq_stats"] = stats
         return out
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -1,0 +1,234 @@
+"""Seq rules: lint findings backed by sequential proofs.
+
+The ``seq`` group runs the reset-state ternary fixpoint and the
+k-induction correspondence engine (:mod:`repro.analyze.seq`) and
+reports only what one of them *proved* about the machine's behaviour
+at every cycle from reset:
+
+* ``seq-stuck-register`` — a flip-flop provably never leaves one value
+  from reset (the classic "stuck register": its state bit, and every
+  correction on it, is sequentially untestable);
+* ``seq-const-line`` — a line that is not combinationally constant but
+  provably holds one value at every cycle from reset (combinational
+  constants stay with the ``deep``/``prove`` groups so the finding is
+  genuinely sequential);
+* ``seq-redundant-register`` — two or more flip-flops proven
+  equivalent (or antivalent) at every cycle from reset: the state
+  encoding carries a redundant bit;
+* ``seq-equivalent-logic`` — a proven correspondence class without a
+  redundant register: signals that agree at every cycle from reset
+  even though no combinational argument relates them.
+
+Like the ``prove`` group these rules are opt-in (``repro lint --seq``)
+and run only once the earlier groups are error-free: time-frame
+expansion needs a topological order, which combinational loops (a
+semantic ERROR) deny.  Every WARNING is proof-backed — fixpoint
+invariant or simultaneous k-induction — and every undecided or refuted
+candidate is surfaced as INFO (refutations carry the concrete input
+sequence from reset that distinguishes the pair), never dropped
+silently.  On a netlist without flip-flops the group is a no-op.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..circuit.gatetypes import GateType, SOURCE_TYPES
+from .core import AnalysisContext, DEFAULT_REGISTRY, Diagnostic, Severity
+from .prove import ProofStatus
+
+_rule = DEFAULT_REGISTRY.rule
+
+
+def _seq_result(ctx: AnalysisContext):
+    """The context's cached seq sweep (budget set by the lint driver)."""
+    return ctx.facts().seq_prover(
+        conflict_budget=getattr(ctx, "seq_budget", None)).sweep()
+
+
+@_rule("seq-stuck-register", "seq", Severity.WARNING,
+       "no flip-flop is provably stuck at one value from reset")
+def check_seq_stuck_register(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.netlist.dffs():
+        return
+    result = _seq_result(ctx)
+    live = ctx.live()
+    gates = ctx.netlist.gates
+    for index in sorted(result.constants):
+        gate = gates[index]
+        if gate.gtype is not GateType.DFF or index not in live:
+            continue
+        constant = result.constants[index]
+        yield Diagnostic(
+            "seq-stuck-register", Severity.WARNING,
+            f"flip-flop {gate.name!r} provably holds {constant.value} at "
+            f"every cycle from reset (proof: {constant.proof}); the "
+            f"state bit is sequentially untestable and any correction "
+            f"on it is unobservable",
+            gate=gate.name,
+            data={"status": str(ProofStatus.PROVEN),
+                  "value": constant.value, "proof": constant.proof,
+                  "conflicts": constant.verdict.conflicts})
+
+
+@_rule("seq-const-line", "seq", Severity.WARNING,
+       "no live line is provably constant at every cycle from reset "
+       "beyond the combinational constants")
+def check_seq_const_line(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.netlist.dffs():
+        return
+    result = _seq_result(ctx)
+    live = ctx.live()
+    gates = ctx.netlist.gates
+    comb = ctx.facts().constants()
+    for index in sorted(result.constants):
+        gate = gates[index]
+        if (gate.gtype in SOURCE_TYPES or gate.gtype is GateType.DFF
+                or index not in live or index in comb):
+            continue  # sources, registers and comb constants have own rules
+        constant = result.constants[index]
+        yield Diagnostic(
+            "seq-const-line", Severity.WARNING,
+            f"line {gate.name!r} ({gate.gtype.name}) provably holds "
+            f"{constant.value} at every cycle from reset (proof: "
+            f"{constant.proof}) though it is not combinationally "
+            f"constant; the machine never exercises it",
+            gate=gate.name,
+            data={"status": str(ProofStatus.PROVEN),
+                  "value": constant.value, "proof": constant.proof,
+                  "conflicts": constant.verdict.conflicts})
+    for index, value, verdict in result.unknown_constants:
+        gate = gates[index]
+        if index not in live:
+            continue
+        yield Diagnostic(
+            "seq-const-line", Severity.INFO,
+            f"line {gate.name!r} looks stuck at {value} on every "
+            f"simulated cycle from reset but the {result.k}-induction "
+            f"proof did not close ({verdict.conflicts} conflicts); "
+            f"undecided",
+            gate=gate.name,
+            data={"status": str(ProofStatus.UNKNOWN), "value": value,
+                  "conflicts": verdict.conflicts})
+    for index, value, verdict in result.refuted_constants:
+        gate = gates[index]
+        if index not in live or verdict.trace is None:
+            continue
+        yield Diagnostic(
+            "seq-const-line", Severity.INFO,
+            f"line {gate.name!r} looked stuck at {value} but a concrete "
+            f"input sequence from reset drives it to {1 - value} at "
+            f"cycle {verdict.trace.frame}; not sequentially constant",
+            gate=gate.name,
+            data={"status": str(ProofStatus.REFUTED), "value": value,
+                  "trace": verdict.trace.to_dict(),
+                  "conflicts": verdict.conflicts})
+
+
+def _split_classes(ctx: AnalysisContext):
+    """Proven classes -> (redundant-register, equivalent-logic) halves.
+
+    A class with two or more live flip-flop members is a redundant
+    register finding; any other class with two or more live non-source
+    members is an equivalent-logic finding.  Phases are re-based on the
+    first kept member.
+    """
+    result = _seq_result(ctx)
+    live = ctx.live()
+    gates = ctx.netlist.gates
+    registers, logic = [], []
+    for members in result.classes:
+        kept = [(sig, phase) for sig, phase in members
+                if sig in live and gates[sig].gtype not in SOURCE_TYPES]
+        if len(kept) < 2:
+            continue
+        base = kept[0][1]
+        kept = [(sig, phase ^ base) for sig, phase in kept]
+        n_dffs = sum(1 for sig, _ph in kept
+                     if gates[sig].gtype is GateType.DFF)
+        (registers if n_dffs >= 2 else logic).append(kept)
+    return registers, logic
+
+
+@_rule("seq-redundant-register", "seq", Severity.WARNING,
+       "no two flip-flops are provably equivalent at every cycle "
+       "from reset")
+def check_seq_redundant_register(
+        ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.netlist.dffs():
+        return
+    registers, _logic = _split_classes(ctx)
+    gates = ctx.netlist.gates
+    for kept in registers:
+        pretty = [gates[sig].name for sig, _phase in kept]
+        inverted = [gates[sig].name for sig, phase in kept if phase]
+        ffs = [gates[sig].name for sig, _ph in kept
+               if gates[sig].gtype is GateType.DFF]
+        relation = ("track each other" if not inverted else
+                    f"track each other up to inversion of {inverted}")
+        yield Diagnostic(
+            "seq-redundant-register", Severity.WARNING,
+            f"flip-flops {ffs} provably {relation} at every cycle from "
+            f"reset (k-induction, k={_seq_result(ctx).k}); the state "
+            f"encoding carries a redundant bit "
+            f"(full class: {pretty})",
+            gate=ffs[0],
+            data={"status": str(ProofStatus.PROVEN), "registers": ffs,
+                  "gates": pretty, "inverted": inverted})
+
+
+@_rule("seq-equivalent-logic", "seq", Severity.WARNING,
+       "no two signals are provably equivalent at every cycle from "
+       "reset without being combinationally related")
+def check_seq_equivalent_logic(
+        ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    if not ctx.netlist.dffs():
+        return
+    result = _seq_result(ctx)
+    _registers, logic = _split_classes(ctx)
+    gates = ctx.netlist.gates
+    live = ctx.live()
+    for kept in logic:
+        pretty = [gates[sig].name for sig, _phase in kept]
+        inverted = [gates[sig].name for sig, phase in kept if phase]
+        relation = ("equivalent" if not inverted else
+                    f"equivalent up to inversion of {inverted}")
+        yield Diagnostic(
+            "seq-equivalent-logic", Severity.WARNING,
+            f"signals {pretty} are proven {relation} at every cycle "
+            f"from reset (k-induction, k={result.k}); sequentially "
+            f"duplicated logic doubles the suspect space without "
+            f"adding diagnosability",
+            gate=pretty[0],
+            data={"status": str(ProofStatus.PROVEN), "gates": pretty,
+                  "inverted": inverted})
+    for a, b, phase, verdict in result.refuted_pairs:
+        if a not in live or b not in live or verdict.trace is None:
+            continue
+        yield Diagnostic(
+            "seq-equivalent-logic", Severity.INFO,
+            f"signals [{gates[a].name!r}, {gates[b].name!r}] agreed on "
+            f"every simulated cycle but a concrete input sequence from "
+            f"reset distinguishes them at cycle {verdict.trace.frame}; "
+            f"not sequentially "
+            f"{'antivalent' if phase else 'equivalent'}",
+            gate=gates[a].name,
+            data={"status": str(ProofStatus.REFUTED),
+                  "gates": [gates[a].name, gates[b].name],
+                  "antivalence": phase,
+                  "trace": verdict.trace.to_dict(),
+                  "conflicts": verdict.conflicts})
+    for a, b, phase, verdict in result.unknown_pairs:
+        if a not in live or b not in live:
+            continue
+        yield Diagnostic(
+            "seq-equivalent-logic", Severity.INFO,
+            f"signals [{gates[a].name!r}, {gates[b].name!r}] look "
+            f"sequentially {'antivalent' if phase else 'equivalent'} "
+            f"but the {result.k}-induction proof did not close "
+            f"({verdict.conflicts} conflicts); undecided",
+            gate=gates[a].name,
+            data={"status": str(ProofStatus.UNKNOWN),
+                  "gates": [gates[a].name, gates[b].name],
+                  "antivalence": phase,
+                  "conflicts": verdict.conflicts})

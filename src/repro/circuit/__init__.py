@@ -1,22 +1,26 @@
 """Gate-level circuit substrate: netlists, lines, I/O, generators,
 sequential support and transformations."""
 
-from .gatetypes import GateType, controlling_value, eval_scalar, eval_words
+from .gatetypes import (GateType, controlling_value, eval_scalar,
+                        eval_ternary, eval_words)
 from .netlist import Gate, Netlist
 from .lines import Line, LineKind, LineTable
 from .validate import issues, report, validate
 from . import bench_io, generators, verilog_io
-from .sequential import ScanMap, SequentialSimulator, full_scan
+from .sequential import (ScanMap, SequentialSimulator, full_scan,
+                         normalize_initial_state)
 from .transform import expand_xor, optimize_area
 from .miter import build_miter
 from .unroll import UnrollMap, pack_sequences, unroll
 
 __all__ = [
-    "GateType", "controlling_value", "eval_scalar", "eval_words",
+    "GateType", "controlling_value", "eval_scalar", "eval_ternary",
+    "eval_words",
     "Gate", "Netlist", "Line", "LineKind", "LineTable",
     "issues", "report", "validate", "bench_io", "generators",
     "verilog_io",
     "ScanMap", "SequentialSimulator", "full_scan",
+    "normalize_initial_state",
     "expand_xor", "optimize_area",
     "build_miter", "UnrollMap", "pack_sequences", "unroll",
 ]

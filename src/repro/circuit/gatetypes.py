@@ -150,6 +150,53 @@ def eval_scalar(gtype: GateType, inputs: Sequence[int]) -> int:
     raise ValueError(f"cannot evaluate gate type {gtype}")
 
 
+def eval_ternary(gtype: GateType,
+                 inputs: Sequence["int | None"]) -> "int | None":
+    """Kleene three-valued gate evaluation (``None`` is X/unknown).
+
+    Monotone in the information order (X below 0 and 1): once partial
+    inputs decide the output, any refinement of the remaining inputs
+    keeps it — the property the ternary dataflow and the sequential
+    reset fixpoint rely on for termination.
+    """
+    if gtype is GateType.CONST0:
+        return 0
+    if gtype is GateType.CONST1:
+        return 1
+    if gtype in (GateType.BUF, GateType.DFF, GateType.INPUT):
+        return inputs[0]
+    if gtype is GateType.NOT:
+        return None if inputs[0] is None else 1 - inputs[0]
+    if gtype in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in inputs):
+            core: "int | None" = 0
+        elif all(v == 1 for v in inputs):
+            core = 1
+        else:
+            core = None
+        if core is not None and gtype is GateType.NAND:
+            core = 1 - core
+        return core
+    if gtype in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in inputs):
+            core = 1
+        elif all(v == 0 for v in inputs):
+            core = 0
+        else:
+            core = None
+        if core is not None and gtype is GateType.NOR:
+            core = 1 - core
+        return core
+    if gtype in (GateType.XOR, GateType.XNOR):
+        if any(v is None for v in inputs):
+            return None
+        acc = 0
+        for v in inputs:
+            acc ^= v
+        return acc if gtype is GateType.XOR else 1 - acc
+    raise ValueError(f"cannot evaluate gate type {gtype}")
+
+
 def eval_words(gtype: GateType, inputs: Sequence[np.ndarray]) -> np.ndarray:
     """Bit-parallel gate evaluation over packed ``uint64`` words.
 

@@ -15,10 +15,63 @@ diagnosis results are consistent with the sequential behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 from ..errors import NetlistError
-from .gatetypes import GateType, eval_scalar
+from .gatetypes import GateType, eval_ternary
 from .netlist import Netlist
+
+
+def normalize_initial_state(netlist: Netlist,
+                            initial_state) -> dict:
+    """Per-DFF reset values as ``{dff_index: 0 | 1 | None}``.
+
+    Accepted shorthands (``None`` means X/unknown):
+
+    * an int ``0``/``1`` — broadcast to every flip-flop (the historical
+      form);
+    * ``None`` — every flip-flop starts unknown;
+    * a mapping keyed by DFF gate index *or* gate name; flip-flops not
+      mentioned default to X;
+    * a sequence of per-DFF values in :meth:`Netlist.dffs` order.
+    """
+    dffs = netlist.dffs()
+
+    def check(value, where: str):
+        if value is None or value in (0, 1):
+            return None if value is None else int(value)
+        raise NetlistError(
+            f"initial state for {where} must be 0, 1 or None (X), "
+            f"got {value!r}")
+
+    if initial_state is None:
+        return {dff: None for dff in dffs}
+    if isinstance(initial_state, int):
+        value = check(initial_state, "broadcast")
+        return {dff: value for dff in dffs}
+    if isinstance(initial_state, Mapping):
+        by_name = {netlist.gates[dff].name: dff for dff in dffs}
+        state: dict = {dff: None for dff in dffs}
+        for key, value in initial_state.items():
+            if key in by_name:
+                dff = by_name[key]
+            elif key in state:
+                dff = key
+            else:
+                raise NetlistError(
+                    f"initial state names unknown flip-flop {key!r}")
+            state[dff] = check(value, f"flip-flop {key!r}")
+        return state
+    if isinstance(initial_state, Sequence):
+        if len(initial_state) != len(dffs):
+            raise NetlistError(
+                f"initial state has {len(initial_state)} values for "
+                f"{len(dffs)} flip-flops")
+        return {dff: check(value, f"flip-flop #{pos}")
+                for pos, (dff, value)
+                in enumerate(zip(dffs, initial_state))}
+    raise NetlistError(
+        f"cannot interpret initial state {initial_state!r}")
 
 
 @dataclass(frozen=True)
@@ -73,17 +126,23 @@ class SequentialSimulator:
 
     Slow (pure Python, one vector at a time) but simple; the test suite
     uses it as the behavioural oracle for the full-scan transform.
+
+    ``initial_state`` takes every form
+    :func:`normalize_initial_state` accepts — an int broadcast (the
+    historical shorthand), ``None`` for all-X, a per-DFF mapping or
+    sequence.  Unknown state propagates with Kleene semantics, so
+    ``step`` may return ``None`` for outputs the reset values leave
+    undecided.
     """
 
-    def __init__(self, netlist: Netlist, initial_state: int = 0):
+    def __init__(self, netlist: Netlist, initial_state=0):
         self.netlist = netlist
         self.dffs = netlist.dffs()
-        self.state = {dff: initial_state for dff in self.dffs}
+        self.state = normalize_initial_state(netlist, initial_state)
         self._order = [i for i in netlist.topo_order()]
 
-    def reset(self, value: int = 0) -> None:
-        for dff in self.state:
-            self.state[dff] = value
+    def reset(self, value=0) -> None:
+        self.state = normalize_initial_state(self.netlist, value)
 
     def step(self, pi_values: dict) -> dict:
         """Apply one input vector; returns {output_position: value} for the
@@ -95,7 +154,8 @@ class SequentialSimulator:
             if gate.gtype is GateType.INPUT:
                 if gate.name not in pi_values:
                     raise NetlistError(f"missing value for PI {gate.name!r}")
-                values[idx] = int(pi_values[gate.name])
+                value = pi_values[gate.name]
+                values[idx] = None if value is None else int(value)
             elif gate.gtype is GateType.DFF:
                 values[idx] = self.state[idx]
             elif gate.gtype is GateType.CONST0:
@@ -103,7 +163,7 @@ class SequentialSimulator:
             elif gate.gtype is GateType.CONST1:
                 values[idx] = 1
             else:
-                values[idx] = eval_scalar(
+                values[idx] = eval_ternary(
                     gate.gtype, [values[src] for src in gate.fanin])
         outputs = {pos: values[po]
                    for pos, po in enumerate(self.netlist.outputs)}

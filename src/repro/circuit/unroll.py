@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from ..errors import NetlistError
 from .gatetypes import GateType
 from .netlist import Netlist
+from .sequential import normalize_initial_state
 
 
 @dataclass
@@ -28,8 +29,12 @@ class UnrollMap:
         frames: number of replicated time frames.
         instance: ``instance[t][g]`` = unrolled gate index of original
             gate ``g`` in frame ``t``.
-        pi_rows: unrolled PI index of (frame, original PI position) —
-            row order of the pattern sets the unrolled model consumes.
+        pi_rows: position in the unrolled model's *input list* of
+            (frame, original PI position) — row order of the pattern
+            sets the unrolled model consumes.
+        init_rows: position in the unrolled model's input list of each
+            original DFF whose reset value is X (exposed as a free
+            ``@init`` input); empty when the whole reset is constant.
         po_positions: ``po_positions[t][p]`` = position in the unrolled
             output list of original PO ``p`` at frame ``t``.
     """
@@ -37,19 +42,25 @@ class UnrollMap:
     frames: int
     instance: list = field(default_factory=list)
     pi_rows: dict = field(default_factory=dict)
+    init_rows: dict = field(default_factory=dict)
     po_positions: list = field(default_factory=list)
 
 
-def unroll(netlist: Netlist, frames: int, initial_state: int = 0,
+def unroll(netlist: Netlist, frames: int, initial_state=0,
            name: str | None = None) -> tuple[Netlist, UnrollMap]:
     """Expand ``netlist`` over ``frames`` clock cycles.
 
-    Frame-0 flip-flop outputs take ``initial_state`` (0 or 1) as a
-    constant — the usual reset assumption; pass ``initial_state=None``
-    to expose them as extra primary inputs instead (unknown reset).
+    ``initial_state`` takes every form
+    :func:`~repro.circuit.sequential.normalize_initial_state` accepts:
+    an int broadcast (the usual all-0/all-1 reset), ``None`` (every
+    flip-flop unknown), or a per-DFF mapping/sequence mixing constants
+    with X.  Frame-0 flip-flop outputs become the corresponding reset
+    constant, or an extra ``@init`` primary input for X entries (their
+    input-list positions are recorded in :attr:`UnrollMap.init_rows`).
     """
     if frames < 1:
         raise NetlistError("need at least one time frame")
+    init = normalize_initial_state(netlist, initial_state)
     out = Netlist(name or f"{netlist.name}_x{frames}")
     umap = UnrollMap(frames)
     const_cache: dict = {}
@@ -60,6 +71,7 @@ def unroll(netlist: Netlist, frames: int, initial_state: int = 0,
             const_cache[value] = out.add_gate(f"reset{value}", gtype)
         return const_cache[value]
 
+    num_inputs = 0
     prev_frame: dict = {}
     outputs: list = []
     for t in range(frames):
@@ -67,7 +79,8 @@ def unroll(netlist: Netlist, frames: int, initial_state: int = 0,
         for pos, pi in enumerate(netlist.inputs):
             new = out.add_input(f"{netlist.gates[pi].name}@{t}")
             mapping[pi] = new
-            umap.pi_rows[(t, pos)] = len(umap.pi_rows)
+            umap.pi_rows[(t, pos)] = num_inputs
+            num_inputs += 1
         for idx in netlist.topo_order():
             gate = netlist.gates[idx]
             if gate.gtype is GateType.INPUT:
@@ -78,10 +91,12 @@ def unroll(netlist: Netlist, frames: int, initial_state: int = 0,
                 # the time-frame diagnoser) and every frame has a
                 # distinct signal for the state bit.
                 if t == 0:
-                    if initial_state is None:
+                    if init[idx] is None:
                         src = out.add_input(f"{gate.name}@init")
+                        umap.init_rows[idx] = num_inputs
+                        num_inputs += 1
                     else:
-                        src = constant(initial_state)
+                        src = constant(init[idx])
                 else:
                     # Q at frame t = D evaluated in frame t-1.
                     src = prev_frame[gate.fanin[0]]
@@ -103,13 +118,16 @@ def unroll(netlist: Netlist, frames: int, initial_state: int = 0,
 
 
 def pack_sequences(netlist: Netlist, umap: UnrollMap,
-                   sequences) -> "PatternSet":
+                   sequences, initial_bits=0) -> "PatternSet":
     """Pack input *sequences* for an unrolled model.
 
     ``sequences`` is an iterable of sequences; each sequence is
     ``frames`` vectors of ``num_inputs`` bits (the stimulus applied
     cycle by cycle).  Returns a :class:`PatternSet` whose rows line up
-    with the unrolled model's primary inputs.
+    with the unrolled model's primary inputs — including the free
+    ``@init`` state inputs of an X reset, which take ``initial_bits``
+    (an int broadcast, or a mapping keyed by DFF gate index or name;
+    unmentioned flip-flops default to 0).
     """
     import numpy as np
 
@@ -118,7 +136,29 @@ def pack_sequences(netlist: Netlist, umap: UnrollMap,
     seqs = list(sequences)
     num_pis = netlist.num_inputs
     nbits = len(seqs)
-    rows = np.zeros((umap.frames * num_pis, nbits), dtype=np.uint8)
+    rows = np.zeros((umap.frames * num_pis + len(umap.init_rows), nbits),
+                    dtype=np.uint8)
+    if umap.init_rows:
+        if isinstance(initial_bits, int):
+            init_bits = {dff: initial_bits for dff in umap.init_rows}
+        else:
+            by_name = {netlist.gates[dff].name: dff
+                       for dff in umap.init_rows}
+            init_bits = {dff: 0 for dff in umap.init_rows}
+            for key, value in dict(initial_bits).items():
+                dff = by_name.get(key, key)
+                if dff not in init_bits:
+                    raise NetlistError(
+                        f"initial bit names flip-flop {key!r} with no "
+                        f"free @init input")
+                init_bits[dff] = int(value)
+        for dff, row in umap.init_rows.items():
+            bit = init_bits[dff]
+            if bit not in (0, 1):
+                raise NetlistError(
+                    f"initial bit for flip-flop #{dff} must be 0 or 1, "
+                    f"got {bit!r}")
+            rows[row, :] = bit
     for v, seq in enumerate(seqs):
         if len(seq) != umap.frames:
             raise NetlistError(

@@ -8,8 +8,8 @@ Subcommands::
     repro diagnose SPEC.bench IMPL.bench [--mode stuck-at|design-error]
     repro bench [--smoke] [--out BENCH_sim.json] [--check FILE]
     repro lint FILE [FILE...] [--format json] [--strict] [--deep]
-               [--prove] ...
-    repro facts FILE [FILE...] [--format json] [--no-deep]
+               [--prove] [--seq] ...
+    repro facts FILE [FILE...] [--format json] [--no-deep] [--seq]
     repro prove A.bench B.bench [--budget N]   # SAT equivalence check
     repro inject SPEC.bench OUT.bench (--faults K | --errors K) [--seed N]
     repro compare [--faults 1,2]     # engine vs SAT vs dictionary
@@ -165,7 +165,9 @@ def cmd_lint(args) -> int:
         try:
             report = lint_netlist(netlist, suppress=suppress,
                                   deep=args.deep, prove=args.prove,
-                                  prove_budget=args.prove_budget)
+                                  prove_budget=args.prove_budget,
+                                  seq=args.seq,
+                                  seq_budget=args.seq_budget)
         except KeyError as exc:
             sys.exit(f"repro lint: {exc.args[0]}")
         if args.format == "json":
@@ -192,7 +194,8 @@ def cmd_facts(args) -> int:
             print(f"{path}: error: {exc}", file=sys.stderr)
             worst = 2
             continue
-        digests.append(netlist_facts(netlist).summary(deep=not args.no_deep))
+        digests.append(netlist_facts(netlist).summary(
+            deep=not args.no_deep, seq=args.seq))
     if args.format == "json":
         print(json.dumps(digests, indent=2))
         return worst
@@ -211,6 +214,25 @@ def cmd_facts(args) -> int:
             print(f"  odc-blocked: {', '.join(digest['odc_blocked'])}")
         if "implications" in digest:
             print(f"  closed implications: {digest['implications']}")
+        if "seq" in digest:
+            sq = digest["seq"]
+            print(f"  seq: fixpoint stable after "
+                  f"{sq['fixpoint_iterations']} sweep(s), "
+                  f"k-induction k={sq['induction_k']}")
+            if sq["stuck_registers"]:
+                pretty = ", ".join(f"{name}={value}" for name, value
+                                   in sq["stuck_registers"].items())
+                print(f"  stuck registers: {pretty}")
+            if sq["seq_constants"]:
+                pretty = ", ".join(f"{name}={value}" for name, value
+                                   in sq["seq_constants"].items())
+                print(f"  seq constants: {pretty}")
+            if sq["proven_constants"]:
+                pretty = ", ".join(f"{name}={value}" for name, value
+                                   in sq["proven_constants"].items())
+                print(f"  induction constants: {pretty}")
+            for group in sq["proven_classes"]:
+                print(f"  seq equivalent: {' == '.join(group)}")
     return worst
 
 
@@ -406,6 +428,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "redundant fanins)")
     p.add_argument("--prove-budget", type=int, default=None,
                    help="per-query conflict budget for --prove")
+    p.add_argument("--seq", action="store_true",
+                   help="also run the sequential seq rules (reset "
+                        "fixpoint + k-induction: stuck registers, "
+                        "sequential constants, redundant registers, "
+                        "sequential equivalences)")
+    p.add_argument("--seq-budget", type=int, default=None,
+                   help="per-query conflict budget for --seq")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule table and exit")
     p.set_defaults(func=cmd_lint)
@@ -418,6 +447,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--no-deep", action="store_true",
                    help="skip the implication closure (cheaper)")
+    p.add_argument("--seq", action="store_true",
+                   help="also report sequential facts (reset fixpoint, "
+                        "stuck registers, k-induction constants and "
+                        "correspondence classes)")
     p.set_defaults(func=cmd_facts)
 
     p = sub.add_parser("prove",

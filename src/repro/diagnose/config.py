@@ -102,6 +102,21 @@ class DiagnosisConfig:
             dropped suspect is a proven per-vector no-op at every
             primary output; the screen is re-derived per tree node from
             the (cached) dataflow facts of that node's netlist.
+        seq_prescreen: sequential variant of the pre-screen, used by
+            :class:`~repro.diagnose.timeframe.TimeFrameDiagnoser`
+            only: drop suspects whose driver is provably masked *from
+            reset* — unobservable in the full-scan model (no
+            combinational path to any primary output or flip-flop data
+            input) or ODC-blocked with the side-input constant supplied
+            by the reset-state fixpoint — see
+            :func:`repro.analyze.seq.seq_masked_signals`, which carries
+            the frame-induction soundness argument.  Each dropped
+            suspect is a proven whole-run no-op at every primary output
+            from reset.  Off by default; like ``static_prescreen`` the
+            proof covers single suspects, and exotic tuples whose
+            members pairwise unmask each other are in principle
+            affected (the documented per-node caveat of
+            :func:`repro.diagnose.screening.prescreen_suspects`).
         theorem1_safety: multiply the Theorem 1 bound in exact mode
             (<1 loosens the screen; 1.0 is the proven bound).
         h3_exact: heuristic-3 threshold in exact mode (0 disables the
@@ -134,6 +149,7 @@ class DiagnosisConfig:
     max_nodes: int = 4000
     max_rounds: int = 9
     static_prescreen: bool = True
+    seq_prescreen: bool = False
     theorem1_safety: float = 1.0
     h3_exact: float = 0.0
     prove_dedup: bool = False

@@ -77,13 +77,19 @@ class TimeFrameDiagnoser:
             one bit-vector per cycle).
         frames: time frames to expand.
         max_faults: largest joint-fault cardinality attempted.
+        config: optional :class:`~repro.diagnose.config.DiagnosisConfig`;
+            only ``seq_prescreen`` is consulted here.  When set, lines
+            whose driver :func:`repro.analyze.seq.seq_masked_signals`
+            proves masked from reset are never tried as suspects (each
+            is a proven whole-run no-op on every primary output); every
+            skip is counted in ``stats.prescreen_dropped``.
     """
 
     def __init__(self, spec: Netlist, device: Netlist, sequences,
                  frames: int = 8, max_faults: int = 2,
                  max_nodes: int = 2000,
                  time_budget: float | None = 60.0,
-                 initial_state: int = 0):
+                 initial_state=0, config=None):
         if spec.is_combinational:
             raise DiagnosisError(
                 "time-frame diagnosis is for sequential circuits; use "
@@ -104,6 +110,17 @@ class TimeFrameDiagnoser:
         self.device_out = output_rows(
             device_model, simulate(device_model, self.patterns))
         self._line_instances = self._map_lines()
+        self._masked_lines: frozenset = frozenset()
+        if config is not None and config.seq_prescreen:
+            from ..analyze.seq import seq_masked_signals
+
+            masked = seq_masked_signals(spec, initial_state)
+            # A branch fault's effect cone is contained in its stem's,
+            # so one masked driver disposes of the stem and every
+            # branch line it feeds.
+            self._masked_lines = frozenset(
+                line.index for line in self.table
+                if line.driver in masked)
         self._root = self._state_from_values(
             simulate(self.model, self.patterns), {})
 
@@ -217,6 +234,9 @@ class TimeFrameDiagnoser:
             candidates = []
             for line in self.table:
                 if line.index in state.forced:
+                    continue
+                if line.index in self._masked_lines:
+                    stats.prescreen_dropped += 1
                     continue
                 for value in (0, 1):
                     delta = self._joint_delta(state, line.index, value)

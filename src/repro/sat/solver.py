@@ -287,13 +287,22 @@ class SatSolver:
                     self._backjump(0)
                     return False
                 self._backjump(max(back, base_level))
-                index = len(self.clauses)
-                self.clauses.append(learned)
                 self.stats.learned += 1
-                for lit in learned[:2]:
-                    self._watches.setdefault(-lit, []).append(index)
-                self._enqueue(learned[0], index
-                              if len(learned) > 1 else None)
+                if len(learned) == 1:
+                    # A learned unit holds unconditionally (assumptions
+                    # enter learned clauses negated), but the two-watch
+                    # scheme cannot track a one-literal clause — keep it
+                    # with the input units instead so every later call
+                    # re-asserts it at level 0.
+                    if learned[0] not in self._units:
+                        self._units.append(learned[0])
+                    self._enqueue(learned[0], None)
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learned)
+                    for lit in learned[:2]:
+                        self._watches.setdefault(-lit, []).append(index)
+                    self._enqueue(learned[0], index)
                 self._act_inc *= 1.05
             else:
                 if (interval is not None and since_restart >= interval

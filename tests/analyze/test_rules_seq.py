@@ -1,0 +1,148 @@
+"""Seq rule group: planted sequential defects must come back PROVEN.
+
+Each planted workload triggers exactly one rule and is invisible to
+every earlier group: the stuck register is combinationally free, the
+twin registers re-encode their next-state logic so structural hashing
+cannot merge them, and the sequential constant only falls out of the
+reset fixpoint.  The group is opt-in, gated on error-free earlier
+groups by *position*, and a no-op on flip-flop-free netlists.
+"""
+
+import pytest
+
+from repro.analyze import lint_netlist
+from repro.circuit import GateType, Netlist
+
+
+def planted_stuck() -> Netlist:
+    """r never leaves reset 0 (D = AND(r, x)); m = AND(y, r) rides it."""
+    n = Netlist("stuck")
+    x = n.add_input("x")
+    y = n.add_input("y")
+    r = n.add_gate("r", GateType.DFF, [x])
+    d = n.add_gate("d", GateType.AND, [r, x])
+    n.gates[r].fanin = [d]
+    m = n.add_gate("m", GateType.AND, [y, r])
+    o = n.add_gate("o", GateType.OR, [m, y])
+    n.set_outputs([o])
+    n._dirty()
+    return n
+
+
+def planted_twin_registers() -> Netlist:
+    """Two registers tracking the same bit through hash-blind logic."""
+    n = Netlist("twins")
+    a = n.add_input("a")
+    p = n.add_gate("p", GateType.DFF, [a])
+    q = n.add_gate("q", GateType.DFF, [a])
+    dp = n.add_gate("dp", GateType.XOR, [a, p])
+    na = n.add_gate("na", GateType.NOT, [a])
+    nq = n.add_gate("nq", GateType.NOT, [q])
+    t1 = n.add_gate("t1", GateType.AND, [a, nq])
+    t2 = n.add_gate("t2", GateType.AND, [na, q])
+    dq = n.add_gate("dq", GateType.OR, [t1, t2])
+    n.gates[p].fanin = [dp]
+    n.gates[q].fanin = [dq]
+    op = n.add_gate("op", GateType.AND, [p, a])
+    oq = n.add_gate("oq", GateType.OR, [q, a])
+    n.set_outputs([op, oq])
+    n._dirty()
+    return n
+
+
+def findings(report, rule, severity=None):
+    return [d for d in report.diagnostics if d.rule == rule
+            and (severity is None or str(d.severity) == severity)]
+
+
+def test_planted_stuck_register_reported_proven():
+    report = lint_netlist(planted_stuck(), seq=True)
+    hits = findings(report, "seq-stuck-register", "warning")
+    assert len(hits) == 1
+    assert hits[0].gate == "r"
+    assert hits[0].data["value"] == 0
+    assert hits[0].data["proof"] == "reset-fixpoint"
+    # the gated AND is a sequential constant beyond the comb facts
+    consts = findings(report, "seq-const-line", "warning")
+    assert {h.gate for h in consts} == {"d", "m"}
+
+
+def test_planted_twin_registers_reported_proven():
+    report = lint_netlist(planted_twin_registers(), seq=True)
+    hits = findings(report, "seq-redundant-register", "warning")
+    assert len(hits) == 1
+    assert set(hits[0].data["registers"]) == {"p", "q"}
+    # p and q track in-phase (any inverted members are helper logic)
+    assert not {"p", "q"} & set(hits[0].data["inverted"])
+    # the next-state cones agree too but carry no two registers
+    logic = findings(report, "seq-equivalent-logic", "warning")
+    assert all(set(h.data["gates"]) != {"p", "q"} for h in logic)
+
+
+def test_seq_group_noop_without_flipflops(c17):
+    report = lint_netlist(c17, seq=True)
+    assert "seq" not in report.skipped_groups
+    for rule in ("seq-stuck-register", "seq-const-line",
+                 "seq-redundant-register", "seq-equivalent-logic"):
+        assert findings(report, rule) == []
+    assert report.seq_stats is None  # engine never constructed
+
+
+def test_seq_stats_in_report(s27):
+    report = lint_netlist(s27.copy(), seq=True)
+    stats = report.seq_stats
+    assert stats is not None and stats["k"] >= 1
+    assert stats["proven"] + stats["refuted"] + stats["unknown"] \
+        == stats["constant_candidates"] + stats["pair_candidates"]
+    payload = report.to_dict()
+    assert "time_s" not in payload["seq_stats"]
+    assert "seq: k=" in report.to_text()
+
+
+def test_seq_group_gated_on_errors():
+    bad = planted_stuck()
+    bad.outputs.append(999)  # structural ERROR: out-of-range index
+    report = lint_netlist(bad, seq=True)
+    assert report.errors
+    assert "seq" in report.skipped_groups
+    assert findings(report, "seq-stuck-register") == []
+
+
+def test_unknown_group_string_rejected(s27):
+    with pytest.raises(ValueError, match="unknown lint group"):
+        lint_netlist(s27, groups=("structural", "sequential"))
+
+
+def test_refuted_near_miss_reported_as_info():
+    # p tracks a directly; q latches a sticky OR of it, so the first
+    # a=1 followed by a=0 separates them at the *third* cycle: only a
+    # k=3 base case can refute, and only when the single simulated
+    # vector happens to miss the separating sequence.
+    n = Netlist("nearmiss")
+    a = n.add_input("a")
+    p = n.add_gate("p", GateType.DFF, [a])
+    q = n.add_gate("q", GateType.DFF, [a])
+    dq = n.add_gate("dq", GateType.OR, [q, a])
+    n.gates[p].fanin = [a]
+    n.gates[q].fanin = [dq]
+    o = n.add_gate("o", GateType.XOR, [p, q])
+    n.set_outputs([o])
+    n._dirty()
+    from repro.analyze.seq import SeqProver
+
+    for seed in range(10):
+        result = SeqProver(n, k=3, nvectors=1, seed=seed).sweep()
+        if result.refuted_pairs or result.refuted_constants:
+            break
+    else:
+        pytest.fail("no seed produced a refutation")
+    refuted = result.refuted_pairs + [
+        (sig, sig, val, v) for sig, val, v in result.refuted_constants]
+    assert all(v.trace is not None for *_k, v in refuted)
+
+
+def test_suppression_works_for_seq_rules():
+    report = lint_netlist(planted_stuck(), seq=True,
+                          suppress=("seq-stuck-register",))
+    assert findings(report, "seq-stuck-register") == []
+    assert "seq-stuck-register" in report.suppressed

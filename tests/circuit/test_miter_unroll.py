@@ -76,3 +76,94 @@ def test_unroll_validation(s27):
     model, umap = unroll(s27, 2)
     with pytest.raises(NetlistError, match="cycles"):
         pack_sequences(s27, umap, [[[0, 0, 0, 0]]])  # 1 cycle, need 2
+
+
+def test_unroll_single_frame(s27):
+    # frames=1: no cross-frame wiring, every DFF reads its reset value
+    model, umap = unroll(s27, 1, initial_state=0)
+    assert model.is_combinational
+    assert model.num_inputs == s27.num_inputs
+    assert umap.frames == 1 and len(umap.instance) == 1
+    assert umap.init_rows == {}
+    names = [s27.gates[i].name for i in s27.inputs]
+    seqs = [[[1, 0, 1, 0]], [[0, 1, 1, 1]]]
+    patterns = pack_sequences(s27, umap, seqs)
+    out = unpack_bits(output_rows(model, simulate(model, patterns)),
+                      patterns.nbits)
+    for v, seq in enumerate(seqs):
+        ref = SequentialSimulator(s27, 0).step(dict(zip(names, seq[0])))
+        for p, po_pos in enumerate(umap.po_positions[0]):
+            assert out[po_pos, v] == ref[p]
+
+
+def test_unroll_zero_dff_netlist(c17):
+    # a combinational netlist unrolls to independent copies per frame
+    model, umap = unroll(c17, 3, initial_state=None)
+    assert model.num_inputs == 3 * c17.num_inputs
+    assert model.num_outputs == 3 * c17.num_outputs
+    assert umap.init_rows == {}
+    rng = random.Random(5)
+    names = [c17.gates[i].name for i in c17.inputs]
+    seqs = [[[rng.randint(0, 1) for _ in names] for _ in range(3)]
+            for _ in range(8)]
+    patterns = pack_sequences(c17, umap, seqs)
+    out = unpack_bits(output_rows(model, simulate(model, patterns)),
+                      patterns.nbits)
+    sim = SequentialSimulator(c17, 0)  # stateless: plain evaluation
+    for v, seq in enumerate(seqs):
+        for t, cycle in enumerate(seq):
+            ref = sim.step(dict(zip(names, cycle)))
+            for p, po_pos in enumerate(umap.po_positions[t]):
+                assert out[po_pos, v] == ref[p]
+
+
+def test_unroll_x_reset_roundtrip_matches_simulator(s27):
+    # X reset exposes @init inputs; pack_sequences(initial_bits=...)
+    # must make the unrolled model agree with SequentialSimulator
+    # started from the same concrete state, for both init encodings.
+    frames = 4
+    model, umap = unroll(s27, frames, initial_state=None)
+    dffs = s27.dffs()
+    assert set(umap.init_rows) == set(dffs)
+    rng = random.Random(11)
+    names = [s27.gates[i].name for i in s27.inputs]
+    seqs = [[[rng.randint(0, 1) for _ in names] for _ in range(frames)]
+            for _ in range(16)]
+    by_index = {dff: rng.randint(0, 1) for dff in dffs}
+    by_name = {s27.gates[dff].name: bit for dff, bit in by_index.items()}
+    for initial_bits in (by_index, by_name, 1):
+        patterns = pack_sequences(s27, umap, seqs,
+                                  initial_bits=initial_bits)
+        state = 1 if isinstance(initial_bits, int) else by_index
+        out = unpack_bits(output_rows(model, simulate(model, patterns)),
+                          patterns.nbits)
+        for v, seq in enumerate(seqs):
+            sim = SequentialSimulator(s27, initial_state=state)
+            for t, cycle in enumerate(seq):
+                ref = sim.step(dict(zip(names, cycle)))
+                for p, po_pos in enumerate(umap.po_positions[t]):
+                    assert out[po_pos, v] == ref[p], (v, t, p)
+
+
+def test_pack_sequences_initial_bits_validation(s27):
+    model, umap = unroll(s27, 2, initial_state=None)
+    good = [[[0, 0, 0, 0], [1, 1, 1, 1]]]
+    with pytest.raises(NetlistError, match="no free @init input"):
+        pack_sequences(s27, umap, good, initial_bits={"nope": 1})
+    with pytest.raises(NetlistError, match="must be 0 or 1"):
+        pack_sequences(s27, umap, good, initial_bits={"G5": 2})
+    # constant reset leaves no @init rows: initial_bits is ignored
+    cmodel, cumap = unroll(s27, 2, initial_state=0)
+    assert cumap.init_rows == {}
+    pack_sequences(s27, cumap, good, initial_bits={"G5": 1})
+
+
+def test_unroll_mixed_reset_state(s27):
+    # per-DFF mapping mixing constants with X: only the X register
+    # becomes a free @init input
+    dffs = s27.dffs()
+    state = {s27.gates[dff].name: 0 for dff in dffs[1:]}
+    state[s27.gates[dffs[0]].name] = None
+    model, umap = unroll(s27, 2, initial_state=state)
+    assert set(umap.init_rows) == {dffs[0]}
+    assert model.num_inputs == 2 * s27.num_inputs + 1

@@ -65,3 +65,71 @@ def test_no_fault_returns_empty(s27):
     result = diag.run()
     assert not result.found
     assert result.stats.nodes == 0
+
+
+def planted_masked_spec():
+    """Observable hbuf path plus a suspect cone gated by a register
+    that provably never leaves reset 0 — everything behind the gate is
+    sequentially masked and fair game for the pre-screen."""
+    from repro.circuit import GateType, Netlist
+
+    nl = Netlist("masked")
+    h = nl.add_input("h")
+    e = nl.add_input("e")
+    x = nl.add_input("x")
+    y = nl.add_input("y")
+    r = nl.add_gate("r", GateType.DFF, [x])
+    d = nl.add_gate("d", GateType.AND, [r, x])
+    nl.gates[r].fanin = [d]
+    g = nl.add_gate("g", GateType.AND, [x, y])
+    m = nl.add_gate("m", GateType.AND, [g, r])
+    hbuf = nl.add_gate("hbuf", GateType.BUF, [h])
+    live = nl.add_gate("live", GateType.DFF, [e])
+    o1 = nl.add_gate("o1", GateType.OR, [hbuf, m])
+    o2 = nl.add_gate("o2", GateType.OR, [o1, live])
+    nl.set_outputs([o2])
+    nl._dirty()
+    return nl
+
+
+def test_seq_prescreen_sound_and_productive():
+    from repro.circuit import GateType
+    from repro.diagnose.config import DiagnosisConfig
+
+    spec = planted_masked_spec()
+    device = planted_masked_spec()
+    hb = device.index_of("hbuf")
+    device.gates[hb].gtype = GateType.CONST1
+    device.gates[hb].fanin = []
+    device._dirty()
+    frames = 6
+    sequences = random_sequences(spec, 24, frames, seed=1)
+
+    def run(config):
+        return TimeFrameDiagnoser(spec, device, sequences,
+                                  frames=frames, max_faults=2,
+                                  config=config).run()
+
+    off = run(None)
+    on = run(DiagnosisConfig(seq_prescreen=True))
+    # soundness: identical solution sets with the screen on and off
+    def key(res):
+        return sorted(frozenset(r.signature for r in sol.records)
+                      for sol in res.solutions)
+
+    assert key(on) == key(off)
+    assert on.found
+    # productivity: the masked cone was planted to be dropped
+    assert on.stats.prescreen_dropped > 0
+    assert off.stats.prescreen_dropped == 0
+    assert on.stats.nodes < off.stats.nodes
+
+
+def test_seq_prescreen_default_off():
+    from repro.diagnose.config import DiagnosisConfig
+
+    assert DiagnosisConfig().seq_prescreen is False
+    spec = planted_masked_spec()
+    diag = TimeFrameDiagnoser(spec, spec, random_sequences(spec, 4, 3),
+                              frames=3, config=DiagnosisConfig())
+    assert diag._masked_lines == frozenset()
