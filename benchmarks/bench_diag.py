@@ -1,0 +1,230 @@
+"""Parallel-diagnosis benchmarks (the ``BENCH_diag.json`` suite).
+
+Measures the :mod:`repro.parallel` scheduler end to end: each workload
+is diagnosed at ``jobs`` = 1, 2 and 4 and every record carries a
+sha256 digest of the printed solution list.  The schema check enforces
+the scheduler's contract — all job counts on one workload must produce
+the identical digest and identical deterministic counters — but never
+fails on timings: speedup is reported alongside the host's CPU count
+(``cpus``) because a single-core runner cannot show one.
+
+* **exact** — the paper's exhaustive stuck-at protocol (Table 1); one
+  shard per screened root correction.
+* **dedc** — the h1/h2/h3 relaxation ladder (§3.4); one shard per
+  ladder attempt.
+
+Run as a script (``python benchmarks/bench_diag.py [--smoke]``) it
+regenerates ``BENCH_diag.json``; under pytest-benchmark it times the
+same workloads.
+"""
+
+import hashlib
+import os
+import time
+
+import pytest
+
+from repro.circuit import generators
+from repro.diagnose import DiagnosisConfig, IncrementalDiagnoser, Mode
+from repro.faults import (inject_stuck_at_faults,
+                          observable_design_error_workload)
+from repro.sim import PatternSet
+from repro.tgen import random_patterns
+
+JOBS = (1, 2, 4)
+SCHEMA = "repro.bench_diag/1"
+EXACT_WORKLOADS = ("alu4", "c17")
+SMOKE_EXACT_WORKLOADS = ("c17",)
+DEDC_WORKLOADS = ("alu4",)
+SMOKE_DEDC_WORKLOADS = ("alu4",)
+
+
+def build_circuit(name: str):
+    if name == "c17":
+        return generators.c17()
+    if name == "alu4":
+        return generators.alu(4)
+    raise ValueError(f"unknown bench circuit {name!r}")
+
+
+def solutions_digest(result) -> str:
+    """sha256 of the printed solution list — the byte-identity probe."""
+    text = "\n".join(s.describe() for s in result.solutions)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _record(suite: str, circuit, jobs: int, result, wall: float) -> dict:
+    return {"suite": suite, "circuit": circuit.name,
+            "gates": len(circuit.gates), "jobs": jobs,
+            "nodes": result.stats.nodes,
+            "shards": len(result.stats.shards),
+            "truncated": result.stats.truncated,
+            "solutions": len(result.solutions),
+            "solutions_digest": solutions_digest(result),
+            "wall_s": wall}
+
+
+def exact_records(name: str) -> list:
+    """Exhaustive 2-fault stuck-at diagnosis at each job count."""
+    circuit = build_circuit(name)
+    workload = inject_stuck_at_faults(circuit, 2, seed=4)
+    patterns = PatternSet.random(circuit.num_inputs, 512, seed=9)
+    records = []
+    for jobs in JOBS:
+        config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                                 max_errors=2, jobs=jobs)
+        t0 = time.perf_counter()
+        result = IncrementalDiagnoser(workload.impl, circuit, patterns,
+                                      config).run()
+        records.append(_record("exact", circuit, jobs, result,
+                               time.perf_counter() - t0))
+    return records
+
+
+def dedc_records(name: str) -> list:
+    """2-design-error ladder diagnosis at each job count."""
+    circuit = build_circuit(name)
+    patterns = random_patterns(circuit, 512, seed=5)
+    workload = observable_design_error_workload(circuit, 2, patterns,
+                                                seed=11)
+    records = []
+    for jobs in JOBS:
+        config = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                                 max_errors=3, jobs=jobs)
+        t0 = time.perf_counter()
+        result = IncrementalDiagnoser(circuit, workload.impl, patterns,
+                                      config).run()
+        records.append(_record("dedc", circuit, jobs, result,
+                               time.perf_counter() - t0))
+    return records
+
+
+def _speedup(records: list) -> dict:
+    """Per-workload jobs=1 -> jobs=max wall-clock ratio (informative
+    only; see ``cpus``)."""
+    by_jobs = {r["jobs"]: r for r in records}
+    serial = by_jobs[min(by_jobs)]["wall_s"]
+    widest = by_jobs[max(by_jobs)]
+    return {"suite": records[0]["suite"],
+            "circuit": records[0]["circuit"],
+            "speedup": (serial / widest["wall_s"]
+                        if widest["wall_s"] > 0 else 0.0)}
+
+
+def run_suites(smoke: bool = False) -> dict:
+    exact_names = SMOKE_EXACT_WORKLOADS if smoke else EXACT_WORKLOADS
+    dedc_names = SMOKE_DEDC_WORKLOADS if smoke else DEDC_WORKLOADS
+    groups = [exact_records(name) for name in exact_names]
+    groups.extend(dedc_records(name) for name in dedc_names)
+    return {"schema": SCHEMA, "smoke": smoke,
+            "cpus": os.cpu_count() or 1,
+            "records": [r for group in groups for r in group],
+            "summary": [_speedup(group) for group in groups]}
+
+
+def validate_payload(payload: dict) -> list:
+    errors = []
+    if payload.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA}")
+    if not isinstance(payload.get("cpus"), int) or payload["cpus"] < 1:
+        errors.append("cpus must be a positive integer")
+    required = ("suite", "circuit", "gates", "jobs", "nodes", "shards",
+                "truncated", "solutions", "solutions_digest", "wall_s")
+    groups: dict = {}
+    for record in payload.get("records", ()):
+        if record.get("suite") not in ("exact", "dedc"):
+            errors.append(f"unknown suite {record.get('suite')!r}")
+            continue
+        name = f"{record['suite']}/{record.get('circuit')}"
+        missing = [key for key in required if key not in record]
+        for key in missing:
+            errors.append(f"{name}: missing {key}")
+        if missing:
+            continue
+        groups.setdefault(name, []).append(record)
+    for name, records in groups.items():
+        # The determinism contract: jobs must not change what is found
+        # or how much deterministic work it took — only the wall clock.
+        for key in ("solutions_digest", "solutions", "nodes", "shards",
+                    "truncated"):
+            if len({record[key] for record in records}) != 1:
+                errors.append(f"{name}: {key} differs across jobs "
+                              "(scheduler nondeterminism)")
+    for entry in payload.get("summary", ()):
+        if "speedup" not in entry:
+            errors.append(f"summary {entry.get('circuit')}: "
+                          "missing speedup")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jobs", JOBS)
+def test_exact_jobs(benchmark, jobs):
+    circuit = build_circuit("c17")
+    workload = inject_stuck_at_faults(circuit, 2, seed=4)
+    patterns = PatternSet.random(circuit.num_inputs, 512, seed=9)
+    config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                             max_errors=2, jobs=jobs)
+
+    def run():
+        return IncrementalDiagnoser(workload.impl, circuit, patterns,
+                                    config).run()
+
+    result = benchmark(run)
+    benchmark.extra_info.update({
+        "circuit": circuit.name, "jobs": jobs,
+        "nodes": result.stats.nodes,
+        "solutions_digest": solutions_digest(result),
+    })
+
+
+def test_bench_payload_schema():
+    payload = run_suites(smoke=True)
+    assert validate_payload(payload) == []
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="regenerate BENCH_diag.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workloads for CI")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing payload and exit")
+    parser.add_argument("--out", default="BENCH_diag.json")
+    args = parser.parse_args(argv)
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            errors = validate_payload(json.load(fh))
+        for err in errors:
+            print(f"schema: {err}")
+        print(f"{args.check}: {'FAIL' if errors else 'ok'}")
+        return 2 if errors else 0
+    payload = run_suites(smoke=args.smoke)
+    errors = validate_payload(payload)
+    if errors:
+        for err in errors:
+            print(f"schema: {err}")
+        return 2
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for record in payload["records"]:
+        print(f"{record['circuit']:>8}: {record['suite']} jobs="
+              f"{record['jobs']} {record['solutions']} solutions, "
+              f"{record['nodes']} nodes over {record['shards']} shards "
+              f"{record['wall_s'] * 1e3:.2f}ms "
+              f"[{record['solutions_digest'][:12]}]")
+    for entry in payload["summary"]:
+        print(f"{entry['circuit']:>8}: {entry['suite']} speedup "
+              f"{entry['speedup']:.2f}x on {payload['cpus']} cpu(s)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ Subcommands::
     repro table2 [--scale S] [--trials N] ...
     repro ablation [--errors K] ...
     repro diagnose SPEC.bench IMPL.bench [--mode stuck-at|design-error]
+                   [--jobs N] [--worker-budget N]
     repro bench [--smoke] [--out BENCH_sim.json] [--check FILE]
     repro lint FILE [FILE...] [--format json] [--strict] [--deep]
                [--prove] [--seq] ...
@@ -122,7 +123,10 @@ def cmd_diagnose(args) -> int:
                              max_errors=args.max_errors,
                              time_budget=args.time_budget,
                              check_invariants=args.check_invariants,
-                             prove_dedup=args.prove_dedup)
+                             prove_dedup=args.prove_dedup,
+                             jobs=args.jobs,
+                             worker_budget=args.worker_budget,
+                             seed=args.seed)
     if mode is Mode.STUCK_AT:
         # Fault-model the good netlist against the faulty device.
         engine = IncrementalDiagnoser(impl, spec, patterns, config)
@@ -400,6 +404,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-errors", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--time-budget", type=float, default=120.0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="process-pool width for the sharded decision-"
+                        "tree search; any N returns the same solution "
+                        "list as --jobs 1 (default 1)")
+    p.add_argument("--worker-budget", type=int, default=None,
+                   help="per-shard node budget (default: max_nodes "
+                        "per shard)")
     p.add_argument("--check-invariants", action="store_true",
                    help="assert Verr/Vcorr + Theorem 1 invariants at "
                         "every tree node (debug mode)")

@@ -3,7 +3,7 @@
 from .bitlists import DiagnosisState, OverrideOutcome
 from .config import (DiagnosisConfig, FLOOR, HLevel, Mode,
                      default_schedule)
-from .pathtrace import (marked_lines, path_trace_counts,
+from .pathtrace import (derive_seed, marked_lines, path_trace_counts,
                         path_trace_vector, top_fraction)
 from .potential import (LinePotential, correcting_potential,
                         correcting_potentials, rank_lines)
@@ -16,7 +16,8 @@ from .tree import DecisionTree, Node, round_visit_order
 from .engine import IncrementalDiagnoser, diagnose
 from .dedup import dedup_solutions
 from .report import (CorrectionRecord, DiagnosisResult, EngineStats,
-                     Solution, matches_truth)
+                     Solution, matches_truth, solution_sort_key,
+                     sort_solutions)
 from .verify import exhaustively_equivalent, rectifies
 from .baselines import (dictionary_diagnosis,
                         exhaustive_multifault_diagnosis)
@@ -31,8 +32,8 @@ enumerate_corrections = corrections_for_line
 __all__ = [
     "DiagnosisState", "OverrideOutcome",
     "DiagnosisConfig", "FLOOR", "HLevel", "Mode", "default_schedule",
-    "marked_lines", "path_trace_counts", "path_trace_vector",
-    "top_fraction",
+    "derive_seed", "marked_lines", "path_trace_counts",
+    "path_trace_vector", "top_fraction",
     "LinePotential", "correcting_potential", "correcting_potentials",
     "rank_lines",
     "ScreenedCorrection", "evaluate_correction", "screen_corrections",
@@ -43,7 +44,7 @@ __all__ = [
     "DecisionTree", "Node", "round_visit_order",
     "IncrementalDiagnoser", "diagnose", "dedup_solutions",
     "CorrectionRecord", "DiagnosisResult", "EngineStats", "Solution",
-    "matches_truth",
+    "matches_truth", "solution_sort_key", "sort_solutions",
     "exhaustively_equivalent", "rectifies",
     "dictionary_diagnosis", "exhaustive_multifault_diagnosis",
     "TimeFrameDiagnoser", "TimeFrameResult", "random_sequences",

@@ -93,6 +93,19 @@ class DiagnosisConfig:
         corrections_per_node: pending-list length per tree node (the
             corrections kept after ranking).
         max_nodes: hard cap on decision-tree nodes per search level.
+            In the exact protocol the search is sharded into one
+            subtree per screened root correction (see
+            :mod:`repro.parallel`) and the cap applies *per shard*
+            unless ``worker_budget`` overrides it.
+        jobs: process-pool width for the sharded search.  ``1``
+            (default) runs the same shard plan in-process; any ``N``
+            returns the identical solution list and deterministic
+            counters (the scheduler's determinism contract, valid when
+            ``time_budget`` is None).
+        worker_budget: per-shard node budget; None means each shard
+            inherits ``max_nodes``.  Deliberately independent of
+            ``jobs`` so shard truncation is reproducible at any pool
+            width.
         max_rounds: hard cap on rounds (paper observes <=6 typical, 9 for
             c1355/c880-like circuits, allowing up to 256 nodes).
         static_prescreen: drop suspects that are statically
@@ -137,6 +150,10 @@ class DiagnosisConfig:
             :class:`repro.analyze.InvariantChecker`).  Off by default;
             when off the engine pays one ``if`` per node.
         seed: randomness (path-trace vector sampling, wire sources).
+            Each tree node samples with a seed derived from this value
+            and its applied-correction signatures
+            (:func:`repro.diagnose.pathtrace.derive_seed`), so runs
+            are reproducible while nodes stay decorrelated.
     """
 
     mode: Mode = Mode.STUCK_AT
@@ -147,6 +164,8 @@ class DiagnosisConfig:
     wire_source_limit: int = 8
     corrections_per_node: int = 24
     max_nodes: int = 4000
+    jobs: int = 1
+    worker_budget: int | None = None
     max_rounds: int = 9
     static_prescreen: bool = True
     seq_prescreen: bool = False

@@ -24,6 +24,13 @@ Two protocols from the paper:
 Minimality in both modes comes from iterative deepening on the target
 cardinality: the engine never looks for N+1-correction sets while an
 N-correction set exists.
+
+Both protocols run through the shard scheduler of :mod:`repro.parallel`:
+exact mode plans one shard per screened root correction, DEDC mode one
+per relaxation-ladder attempt.  ``DiagnosisConfig(jobs=1)`` executes the
+plan in-process, ``jobs=N`` on a process pool — with the same shard
+plan, per-shard budgets and merge order either way, so the solution
+list and the deterministic counters are identical at any pool width.
 """
 
 from __future__ import annotations
@@ -37,14 +44,15 @@ from ..analyze.invariants import InvariantChecker
 from ..circuit.netlist import Netlist
 from ..errors import DiagnosisError
 from ..faults.models import CorrectionKind, apply_correction
+from ..parallel import ShardResult, run_shards
 from ..sim.logicsim import output_rows, simulate
 from ..sim.packing import PatternSet
 from .bitlists import DiagnosisState
 from .candidates import is_correctable_line, stuck_at_corrections
 from .config import DiagnosisConfig, Mode
-from .pathtrace import marked_lines, path_trace_counts
+from .pathtrace import derive_seed, marked_lines, path_trace_counts
 from .report import (CorrectionRecord, DiagnosisResult, EngineStats,
-                     Solution)
+                     Solution, mark_truncated, sort_solutions)
 from .screening import prescreen_suspects, screen_verr, theorem1_bound
 from .tree import DecisionTree
 
@@ -91,7 +99,7 @@ class IncrementalDiagnoser:
             return DiagnosisResult([], stats, self.patterns.nbits, 0)
         for target in range(1, self.config.max_errors + 1):
             if self._deadline and time.perf_counter() > self._deadline:
-                stats.truncated = True
+                mark_truncated(stats, "time-budget")
                 break
             if self.config.exact and self.config.mode is Mode.STUCK_AT:
                 level = EngineStats()
@@ -116,6 +124,48 @@ class IncrementalDiagnoser:
                                self.root_state.num_err)
 
     # ------------------------------------------------------------------
+    # scheduler plumbing shared by both protocols
+    # ------------------------------------------------------------------
+    def _wall_deadline(self) -> float | None:
+        """The engine deadline as an epoch timestamp workers can share
+        (``time.perf_counter`` is not comparable across processes)."""
+        if self._deadline is None:
+            return None
+        return time.time() + max(0.0,
+                                 self._deadline - time.perf_counter())
+
+    def _worker_payload(self) -> tuple:
+        """One read-only pickle per worker: netlist + packed patterns."""
+        return (self.impl, self.patterns, self.spec_out, self.config)
+
+    def _local_context(self):
+        from ..parallel import DiagnosisContext
+        return DiagnosisContext(self.impl, self.patterns, self.spec_out,
+                                self.config, root_state=self.root_state)
+
+    def _merge_shard(self, stats: EngineStats, res: ShardResult,
+                     label: str, merged: dict | None) -> None:
+        """Fold one shard's outcome into the level stats, in plan order.
+
+        A failed shard (worker crash, deadline overrun) truncates the
+        run but never drops its siblings' solutions.
+        """
+        if res.error is not None:
+            mark_truncated(stats, f"{label}: {res.error}")
+            stats.shards.append({"shard": label, "nodes": 0,
+                                 "truncated": True, "wall_s": 0.0,
+                                 "error": res.error})
+            return
+        stats.merge(res.stats)
+        stats.shards.append({"shard": label, "nodes": res.stats.nodes,
+                             "truncated": res.stats.truncated,
+                             "wall_s": res.stats.total_time,
+                             "error": None})
+        if merged is not None:
+            for solution in res.solutions:
+                merged.setdefault(solution.key, solution)
+
+    # ------------------------------------------------------------------
     # DEDC / first-solution protocol
     # ------------------------------------------------------------------
     def _search_incremental(self, target: int,
@@ -125,140 +175,94 @@ class IncrementalDiagnoser:
         # marked line as a candidate (the "reduce progressively when the
         # algorithm returns with no corrections" endgame of §3.2).
         attempts = [(h, None) for h in ladder] + [(ladder[-1], 1.0)]
-        for h, fraction in attempts:
+        if self.config.jobs > 1 and len(attempts) > 1:
+            return self._incremental_sharded(target, stats, attempts)
+        # Serial path: same per-attempt accounting (one shard record per
+        # rung executed) as the sharded merge, so jobs=1 and jobs=N
+        # report identical deterministic counters.
+        for index, (h, fraction) in enumerate(attempts):
             if self._deadline and time.perf_counter() > self._deadline:
-                stats.truncated = True
+                mark_truncated(stats, "time-budget")
                 break
+            attempt_stats = EngineStats()
+            t0 = time.perf_counter()
             tree = DecisionTree(self.root_state, target, h, self.config,
-                                stats, candidate_fraction=fraction,
+                                attempt_stats,
+                                candidate_fraction=fraction,
                                 deadline=self._deadline)
             solutions = tree.run(stop_at_first=True,
                                  traversal=self.config.traversal)
-            stats.levels_tried.append(
-                f"N={target} h={h}" + (" full" if fraction else ""))
+            attempt_stats.total_time = time.perf_counter() - t0
+            label = _attempt_label(target, h, fraction)
+            self._merge_shard(stats, ShardResult(index, solutions,
+                                                 attempt_stats), label,
+                              None)
+            stats.levels_tried.append(label)
             if solutions:
                 return solutions
         return []
 
+    def _incremental_sharded(self, target: int, stats: EngineStats,
+                             attempts: list) -> list[Solution]:
+        """Speculative ladder: every rung runs as its own shard.
+
+        The serial loop stops at the first rung that yields; here all
+        rungs run concurrently and the merge keeps the earliest
+        successful one, folding in only the stats of rungs the serial
+        loop would have executed (rungs at or before the winner) so the
+        deterministic counters match ``jobs=1``.  Work spent on
+        discarded speculative rungs is real but unreported by design.
+        """
+        wall_deadline = self._wall_deadline()
+        tasks = [("attempt", i, target, h, fraction, wall_deadline)
+                 for i, (h, fraction) in enumerate(attempts)]
+        results = run_shards(tasks, self.config.jobs,
+                             payload=self._worker_payload(),
+                             wall_deadline=wall_deadline)
+        winner = None
+        for res in results:
+            if res.error is None and res.solutions:
+                winner = res.index
+                break
+        last = winner if winner is not None else len(results) - 1
+        for res in results[:last + 1]:
+            h, fraction = attempts[res.index]
+            label = _attempt_label(target, h, fraction)
+            self._merge_shard(stats, res, label, None)
+            if res.error is None:
+                stats.levels_tried.append(label)
+        if winner is None:
+            return []
+        return list(results[winner].solutions)
+
     # ------------------------------------------------------------------
     # exact stuck-at protocol (Table 1)
     # ------------------------------------------------------------------
-    def _fast_stuck_at_child(self, state: DiagnosisState,
-                             corr) -> DiagnosisState:
-        """Child state for a stuck-at correction without re-simulation.
-
-        Tying a line to a constant adds exactly one constant gate and
-        only changes values inside the line's fanout cone; the child's
-        value matrix is the parent's with the propagated rows replaced
-        and the constant's row appended.  (Exact mode applies thousands
-        of these; the incremental rebuild is the difference between
-        milliseconds and microseconds per node.)
-        """
-        line = state.table[corr.line]
-        if corr.kind is CorrectionKind.STUCK_AT_1:
-            forced = np.full_like(state.values[line.driver],
-                                  np.uint64(0xFFFFFFFFFFFFFFFF))
-        else:
-            forced = np.zeros_like(state.values[line.driver])
-        changed = state.propagate_line_override(corr.line, forced)
-        child_netlist = state.netlist.copy()
-        apply_correction(child_netlist, state.table, corr)
-        values = np.vstack([state.values, forced[np.newaxis, :]])
-        for idx, row in changed.items():
-            if line.is_stem and idx == line.driver:
-                continue  # the original driver keeps computing; its
-                # consumers were rewired to the new constant gate
-            values[idx] = row
-        return DiagnosisState(child_netlist, state.patterns,
-                              state.spec_out, values=values)
-
     def _search_exact(self, target: int,
                       stats: EngineStats) -> list[Solution]:
+        """Sharded exhaustive search: one shard per screened root
+        correction, merged in plan order (see :mod:`repro.parallel`)."""
         config = self.config
-        solutions: dict = {}
-        visited: set = set()
-        budget = [config.max_nodes]
-
-        def dfs(state: DiagnosisState, applied: tuple,
-                applied_keys: frozenset) -> None:
-            remaining = target - len(applied)
-            t0 = time.perf_counter()
-            counts = path_trace_counts(state, config.pathtrace_samples,
-                                       config.seed)
-            lines = marked_lines(counts)
-            if config.static_prescreen:
-                lines, dropped = prescreen_suspects(state, lines,
-                                                    deep=not applied)
-                stats.prescreen_dropped += dropped
-            stats.diag_time += time.perf_counter() - t0
-            if self.invariants:
-                self.invariants.check_theorem1(state.num_err, remaining)
-                self.invariants.check_lines_live(state, lines)
-            bound = theorem1_bound(state.num_err, remaining)
-            bound = max(1, int(math.ceil(bound * config.theorem1_safety)))
-            t1 = time.perf_counter()
-            screened = []
-            for line in lines:
-                if not is_correctable_line(state, line):
-                    continue
-                for corr in stuck_at_corrections(line):
-                    complemented = screen_verr(state, corr, bound)
-                    if complemented is not None:
-                        screened.append((complemented, corr))
-            screened.sort(key=lambda pair: -pair[0])
-            # Outcome-guided ordering: for the most promising candidates
-            # (by Verr bits complemented) measure the actual failing-
-            # vector count after the correction and explore the best
-            # first.  The tail keeps its heuristic order, so the
-            # traversal stays exhaustive — only better directed.
-            head_n = min(len(screened), config.corrections_per_node)
-            scored_head = []
-            for complemented, corr in screened[:head_n]:
-                outcome = state.outcome_of_override(
-                    corr.line, _forced_words(state, corr))
-                err_after = state.num_err - outcome.rectified_vectors                     + outcome.broken_vectors
-                scored_head.append((err_after, -complemented, corr))
-            scored_head.sort(key=lambda t: t[:2])
-            ordered = ([(c, corr) for (_e, c, corr) in scored_head]
-                       + screened[head_n:])
-            stats.corr_time += time.perf_counter() - t1
-            for _complemented, corr in ordered:
-                signature = corr.describe(state.netlist, state.table)
-                if signature in applied_keys:
-                    continue
-                new_keys = applied_keys | {signature}
-                if new_keys in visited:
-                    continue
-                visited.add(new_keys)
-                if budget[0] <= 0 or (
-                        self._deadline
-                        and time.perf_counter() > self._deadline):
-                    stats.truncated = True
-                    return
-                budget[0] -= 1
-                t2 = time.perf_counter()
-                child_state = self._fast_stuck_at_child(state, corr)
-                stats.apply_time += time.perf_counter() - t2
-                if self.invariants:
-                    self.invariants.check_state(child_state)
-                stats.nodes += 1
-                record = CorrectionRecord(
-                    signature, corr.kind.value,
-                    state.table.describe(corr.line))
-                child_applied = applied + (record,)
-                if child_state.rectified:
-                    key = frozenset(new_keys)
-                    if key not in solutions:
-                        solutions[key] = Solution(child_applied,
-                                                  child_state.netlist)
-                elif len(child_applied) < target:
-                    dfs(child_state, child_applied, new_keys)
-                if budget[0] <= 0:
-                    stats.truncated = True
-                    return
-
-        dfs(self.root_state, (), frozenset())
-        return list(solutions.values())
+        root_candidates = exact_candidates(
+            self.root_state, frozenset(), target, config, stats,
+            self.invariants)
+        if not root_candidates:
+            return []
+        wall_deadline = self._wall_deadline()
+        tasks = [("exact", i, target, corr, wall_deadline)
+                 for i, (_complemented, corr) in
+                 enumerate(root_candidates)]
+        results = run_shards(tasks, config.jobs,
+                             payload=self._worker_payload(),
+                             context=self._local_context(),
+                             wall_deadline=wall_deadline)
+        merged: dict = {}
+        for res in results:
+            signature = root_candidates[res.index][1].describe(
+                self.root_state.netlist, self.root_state.table)
+            self._merge_shard(stats, res, f"N={target} {signature}",
+                              merged)
+        return sort_solutions(merged.values())
 
 
 def _forced_words(state: DiagnosisState, corr) -> np.ndarray:
@@ -267,6 +271,220 @@ def _forced_words(state: DiagnosisState, corr) -> np.ndarray:
     if corr.kind is CorrectionKind.STUCK_AT_1:
         return np.full_like(row, np.uint64(0xFFFFFFFFFFFFFFFF))
     return np.zeros_like(row)
+
+
+def _attempt_label(target: int, h, fraction) -> str:
+    return f"N={target} h={h}" + (" full" if fraction else "")
+
+
+def _perf_deadline(wall_deadline: float | None) -> float | None:
+    """Epoch deadline -> this process's ``perf_counter`` scale."""
+    if wall_deadline is None:
+        return None
+    return time.perf_counter() + (wall_deadline - time.time())
+
+
+def fast_stuck_at_child(state: DiagnosisState, corr) -> DiagnosisState:
+    """Child state for a stuck-at correction without re-simulation.
+
+    Tying a line to a constant adds exactly one constant gate and
+    only changes values inside the line's fanout cone; the child's
+    value matrix is the parent's with the propagated rows replaced
+    and the constant's row appended.  (Exact mode applies thousands
+    of these; the incremental rebuild is the difference between
+    milliseconds and microseconds per node.)
+    """
+    line = state.table[corr.line]
+    if corr.kind is CorrectionKind.STUCK_AT_1:
+        forced = np.full_like(state.values[line.driver],
+                              np.uint64(0xFFFFFFFFFFFFFFFF))
+    else:
+        forced = np.zeros_like(state.values[line.driver])
+    changed = state.propagate_line_override(corr.line, forced)
+    child_netlist = state.netlist.copy()
+    apply_correction(child_netlist, state.table, corr)
+    values = np.vstack([state.values, forced[np.newaxis, :]])
+    for idx, row in changed.items():
+        if line.is_stem and idx == line.driver:
+            continue  # the original driver keeps computing; its
+            # consumers were rewired to the new constant gate
+        values[idx] = row
+    return DiagnosisState(child_netlist, state.patterns,
+                          state.spec_out, values=values)
+
+
+def exact_candidates(state: DiagnosisState, applied_keys: frozenset,
+                     remaining: int, config: DiagnosisConfig,
+                     stats: EngineStats,
+                     invariants=None) -> list:
+    """Ordered ``(complemented, correction)`` candidates at one
+    exact-mode node: path trace, static pre-screen, Theorem 1 screen,
+    outcome-guided head ordering.
+
+    Deterministic given ``(state, applied_keys, config)`` — the
+    path-trace sample uses the node's derived seed and every sort is
+    stable — which is what lets the root expansion double as the shard
+    plan of the parallel scheduler.
+    """
+    t0 = time.perf_counter()
+    counts = path_trace_counts(state, config.pathtrace_samples,
+                               derive_seed(config.seed, applied_keys))
+    lines = marked_lines(counts)
+    if config.static_prescreen:
+        lines, dropped = prescreen_suspects(state, lines,
+                                            deep=not applied_keys)
+        stats.prescreen_dropped += dropped
+    stats.diag_time += time.perf_counter() - t0
+    if invariants:
+        invariants.check_theorem1(state.num_err, remaining)
+        invariants.check_lines_live(state, lines)
+    bound = theorem1_bound(state.num_err, remaining)
+    bound = max(1, int(math.ceil(bound * config.theorem1_safety)))
+    t1 = time.perf_counter()
+    screened = []
+    for line in lines:
+        if not is_correctable_line(state, line):
+            continue
+        for corr in stuck_at_corrections(line):
+            complemented = screen_verr(state, corr, bound)
+            if complemented is not None:
+                screened.append((complemented, corr))
+    screened.sort(key=lambda pair: -pair[0])
+    # Outcome-guided ordering: for the most promising candidates
+    # (by Verr bits complemented) measure the actual failing-
+    # vector count after the correction and explore the best
+    # first.  The tail keeps its heuristic order, so the
+    # traversal stays exhaustive — only better directed.
+    head_n = min(len(screened), config.corrections_per_node)
+    scored_head = []
+    for complemented, corr in screened[:head_n]:
+        outcome = state.outcome_of_override(
+            corr.line, _forced_words(state, corr))
+        err_after = state.num_err - outcome.rectified_vectors \
+            + outcome.broken_vectors
+        scored_head.append((err_after, -complemented, corr))
+    scored_head.sort(key=lambda t: t[:2])
+    ordered = ([(-c, corr) for (_e, c, corr) in scored_head]
+               + screened[head_n:])
+    stats.corr_time += time.perf_counter() - t1
+    return ordered
+
+
+class _SearchTruncated(Exception):
+    """Unwinds the whole exact DFS when a budget or deadline expires.
+
+    The pre-PR code checked the budget *after* marking a candidate
+    visited — the last candidate was recorded as explored but never
+    was — and a mid-DFS ``return`` only unwound one recursion level,
+    so ancestor loops kept burning candidate-screening work after the
+    budget was gone.  Raising propagates the stop cleanly through
+    every level, and the check now runs before any marking.
+    """
+
+
+class _ExactSearch:
+    """Exhaustive subtree exploration for the exact stuck-at protocol.
+
+    One instance is one shard: a private visited set, node budget and
+    deadline.  ``stats.truncated`` (with a cause) is set on *every*
+    path that drops reachable work — budget exhaustion and deadline
+    expiry both raise :class:`_SearchTruncated` before the dropped
+    candidate is marked visited.
+    """
+
+    def __init__(self, config: DiagnosisConfig, target: int,
+                 stats: EngineStats, deadline: float | None = None):
+        self.config = config
+        self.target = target
+        self.stats = stats
+        self.deadline = deadline
+        self.visited: set = set()
+        self.solutions: dict = {}
+        self.budget = (config.worker_budget
+                       if config.worker_budget is not None
+                       else config.max_nodes)
+        self.invariants = (InvariantChecker()
+                           if config.check_invariants else None)
+
+    def explore(self, state: DiagnosisState, applied: tuple,
+                applied_keys: frozenset, ordered=None) -> None:
+        if ordered is None:
+            ordered = exact_candidates(state, applied_keys,
+                                       self.target - len(applied),
+                                       self.config, self.stats,
+                                       self.invariants)
+        for _complemented, corr in ordered:
+            signature = corr.describe(state.netlist, state.table)
+            if signature in applied_keys:
+                continue
+            new_keys = applied_keys | {signature}
+            if new_keys in self.visited:
+                continue
+            self._check_budget()  # before marking: truncation must
+            self.visited.add(new_keys)  # never hide unexplored work
+            self.budget -= 1
+            t0 = time.perf_counter()
+            child_state = fast_stuck_at_child(state, corr)
+            self.stats.apply_time += time.perf_counter() - t0
+            if self.invariants:
+                self.invariants.check_state(child_state)
+            self.stats.nodes += 1
+            record = CorrectionRecord(signature, corr.kind.value,
+                                      state.table.describe(corr.line))
+            child_applied = applied + (record,)
+            if child_state.rectified:
+                self.solutions.setdefault(
+                    new_keys, Solution(child_applied,
+                                       child_state.netlist))
+            elif len(child_applied) < self.target:
+                self.explore(child_state, child_applied, new_keys)
+
+    def _check_budget(self) -> None:
+        if self.budget <= 0:
+            mark_truncated(self.stats, "node-budget")
+            raise _SearchTruncated
+        if (self.deadline is not None
+                and time.perf_counter() > self.deadline):
+            mark_truncated(self.stats, "time-budget")
+            raise _SearchTruncated
+
+
+# ----------------------------------------------------------------------
+# shard execution (runs in-process at jobs=1, in a worker at jobs>1)
+# ----------------------------------------------------------------------
+def execute_shard(context, task) -> ShardResult:
+    """Run one shard of the scheduler's plan on a worker context.
+
+    Budget/deadline exhaustion is reported as a truncated *result*;
+    only genuine failures (crashes) surface as errors, and those are
+    wrapped by the scheduler, not raised from here.
+    """
+    kind, index = task[0], task[1]
+    stats = EngineStats()
+    t0 = time.perf_counter()
+    if kind == "exact":
+        _kind, _index, target, corr, wall_deadline = task
+        search = _ExactSearch(context.config, target, stats,
+                              _perf_deadline(wall_deadline))
+        try:
+            search.explore(context.root_state, (), frozenset(),
+                           ordered=((0, corr),))
+        except _SearchTruncated:
+            pass
+        stats.total_time = time.perf_counter() - t0
+        found = sort_solutions(search.solutions.values())
+        return ShardResult(index, found, stats)
+    if kind == "attempt":
+        _kind, _index, target, h, fraction, wall_deadline = task
+        tree = DecisionTree(context.root_state, target, h,
+                            context.config, stats,
+                            candidate_fraction=fraction,
+                            deadline=_perf_deadline(wall_deadline))
+        solutions = tree.run(stop_at_first=True,
+                             traversal=context.config.traversal)
+        stats.total_time = time.perf_counter() - t0
+        return ShardResult(index, solutions, stats)
+    raise ValueError(f"unknown shard kind {kind!r}")
 
 
 def diagnose(spec: Netlist, impl: Netlist, patterns: PatternSet,

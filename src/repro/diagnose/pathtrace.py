@@ -23,6 +23,7 @@ traversed fanout branch are marked.
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 import numpy as np
@@ -70,6 +71,34 @@ def path_trace_vector(state: DiagnosisState, vector: int) -> set:
                 marked.add(branch.index)
             stack.append(gate.fanin[pin])
     return marked
+
+
+def derive_seed(base_seed: int, signatures) -> int:
+    """Per-node path-trace sampling seed.
+
+    Reusing ``config.seed`` verbatim at every decision-tree node made
+    the sampled failing-vector subset *correlated* across the whole
+    search: every node with more failing vectors than the sample size
+    drew "the same" random indices, so a pathological sample at the
+    root stayed pathological all the way down.  Instead each node mixes
+    the base seed with its applied-correction signatures.
+
+    The hash is cryptographic (BLAKE2), not ``hash()``: stable across
+    processes (``PYTHONHASHSEED``), interpreter versions and the
+    worker pool, and independent of the order corrections were applied
+    (signatures are sorted), so serial, parallel and resumed runs all
+    sample identically at the same tree node.  A node with no applied
+    corrections keeps ``base_seed`` itself — root sampling is unchanged
+    from earlier releases.
+    """
+    if not signatures:
+        return int(base_seed)
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(str(int(base_seed)).encode())
+    for signature in sorted(signatures):
+        digest.update(b"\x00")
+        digest.update(signature.encode())
+    return int.from_bytes(digest.digest(), "little")
 
 
 def path_trace_counts(state: DiagnosisState, max_vectors: int = 24,

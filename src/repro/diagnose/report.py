@@ -70,6 +70,24 @@ class Solution:
         return " + ".join(sorted(r.signature for r in self.records))
 
 
+def solution_sort_key(solution: Solution) -> tuple:
+    """Canonical solution order: cardinality, then signature tuple.
+
+    Discovery order depends on dict/tree traversal details — serial,
+    sharded-parallel and resumed runs all discover the same solutions
+    in different orders.  Sorting by (size, sorted signature tuple)
+    makes every exact-mode result print identically however it was
+    computed.
+    """
+    return (solution.size,
+            tuple(sorted(r.signature for r in solution.records)))
+
+
+def sort_solutions(solutions) -> list:
+    """Solutions in canonical (cardinality, signature-tuple) order."""
+    return sorted(solutions, key=solution_sort_key)
+
+
 @dataclass
 class EngineStats:
     """Timing and search-effort counters of one engine run."""
@@ -81,7 +99,15 @@ class EngineStats:
     apply_time: float = 0.0   # structural application + re-simulation
     total_time: float = 0.0
     levels_tried: list = field(default_factory=list)  # "N=2 h=0.3/0.7/0.95"
-    truncated: bool = False   # hit the node budget
+    truncated: bool = False   # some reachable work was dropped
+    #: why the run was truncated, deduplicated, in discovery order —
+    #: "node-budget", "time-budget", or a per-shard failure like
+    #: "N=2 sa1@n12: worker failed: ...".  Empty iff not truncated.
+    truncation_causes: list = field(default_factory=list)
+    #: per-shard accounting appended by the scheduler merge, in plan
+    #: order: {"shard", "nodes", "truncated", "wall_s", "error"}.
+    #: Deterministic except "wall_s" (a measurement).
+    shards: list = field(default_factory=list)
     prescreen_dropped: int = 0  # suspects removed by the static pre-screen
     dedup_checked: int = 0    # candidate pairs equivalence-checked
     dedup_merged: int = 0     # proven-equivalent candidates collapsed
@@ -97,6 +123,10 @@ class EngineStats:
         self.total_time += other.total_time
         self.levels_tried.extend(other.levels_tried)
         self.truncated = self.truncated or other.truncated
+        for cause in other.truncation_causes:
+            if cause not in self.truncation_causes:
+                self.truncation_causes.append(cause)
+        self.shards.extend(other.shards)
         self.prescreen_dropped += other.prescreen_dropped
         self.dedup_checked += other.dedup_checked
         self.dedup_merged += other.dedup_merged
@@ -104,11 +134,20 @@ class EngineStats:
         self.dedup_time += other.dedup_time
 
 
+def mark_truncated(stats: EngineStats, cause: str) -> None:
+    """Flag dropped work, recording why (idempotent per cause)."""
+    stats.truncated = True
+    if cause not in stats.truncation_causes:
+        stats.truncation_causes.append(cause)
+
+
 @dataclass
 class DiagnosisResult:
     """Everything a caller gets back from one diagnosis run."""
 
-    solutions: list            # list[Solution], discovery order
+    solutions: list            # list[Solution] — canonical (cardinality,
+    #                            signature-tuple) order in exact mode,
+    #                            discovery order in DEDC mode
     stats: EngineStats
     num_vectors: int = 0
     initial_failing: int = 0

@@ -25,10 +25,11 @@ from ..faults.models import apply_correction
 from .bitlists import DiagnosisState
 from .candidates import corrections_for_line, is_correctable_line
 from .config import DiagnosisConfig, HLevel
-from .pathtrace import path_trace_counts, top_fraction
+from .pathtrace import derive_seed, path_trace_counts, top_fraction
 from .potential import rank_lines
 from .ranking import rank_corrections
-from .report import CorrectionRecord, EngineStats, Solution
+from .report import (CorrectionRecord, EngineStats, Solution,
+                     mark_truncated)
 from .screening import (ScreenedCorrection, prescreen_suspects,
                         screen_corrections)
 
@@ -85,8 +86,13 @@ class DecisionTree:
         state = node.state
         config = self.config
         t0 = time.perf_counter()
+        # Per-node seed: reusing config.seed verbatim would correlate
+        # the sampled path-trace across the whole search (see
+        # pathtrace.derive_seed).
+        seed = derive_seed(config.seed,
+                           tuple(r.signature for r in node.applied))
         counts = path_trace_counts(state, config.pathtrace_samples,
-                                   config.seed)
+                                   seed)
         candidate_lines = [line for line
                            in top_fraction(counts, self.candidate_fraction)
                            if is_correctable_line(state, line)]
@@ -150,10 +156,10 @@ class DecisionTree:
 
     def _out_of_budget(self) -> bool:
         if self.stats.nodes >= self.config.max_nodes:
-            self.stats.truncated = True
+            mark_truncated(self.stats, "node-budget")
             return True
         if self.deadline is not None and time.perf_counter() > self.deadline:
-            self.stats.truncated = True
+            mark_truncated(self.stats, "time-budget")
             return True
         return False
 
