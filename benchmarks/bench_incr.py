@@ -1,0 +1,220 @@
+"""Incremental fact-maintenance benchmarks (``BENCH_incr.json``).
+
+One suite, ``maintain``: apply a seeded sequence of journalled edits
+(gate-type swaps, safe fanin rewires, inverter insertions) to a circuit
+and keep its dataflow facts — ternary constants, structural hashes,
+implication closure, observability/dominator blocking — correct after
+*every* edit, two ways:
+
+* **warm** — :func:`repro.analyze.dataflow.netlist_facts` repairs the
+  cached bundle from the edit-journal delta
+  (:func:`repro.analyze.incremental.warm_facts`).
+* **scratch** — a fresh :class:`~repro.analyze.dataflow.NetlistFacts`
+  is materialized from nothing after each edit (the pre-journal
+  behaviour of the blanket ``_dirty()``).
+
+Both paths replay the identical edit sequence (same seed) and the final
+fact state is asserted equal, so the reported speedup compares equal
+work.  The schema check enforces structure and the equal-work
+invariants, never timings (shared CI runners make wall-clock assertions
+meaningless); the committed payload is regenerated on a quiet machine.
+
+Run as a script (``python benchmarks/bench_incr.py [--smoke]``) it
+regenerates ``BENCH_incr.json``; under pytest it validates the smoke
+payload end to end.
+"""
+
+import random
+import time
+
+from conftest import SCALE
+from repro.analyze.dataflow import FACTS_CACHE, NetlistFacts, netlist_facts
+from repro.circuit import GateType, Netlist, generators
+
+CIRCUITS = ("c432", "alu4", "rca8")
+SMOKE_CIRCUITS = ("c17", "rca8")
+EDITS = 100
+SMOKE_EDITS = 20
+SCHEMA = "repro.bench_incr/1"
+
+_UNARY_POOL = (GateType.BUF, GateType.NOT)
+_MULTI_POOL = (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+               GateType.XOR, GateType.XNOR)
+
+
+def build_circuit(name: str) -> Netlist:
+    if name == "alu4":
+        return generators.alu(4)
+    if name == "rca8":
+        return generators.ripple_carry_adder(8)
+    if name == "c432":
+        return generators.by_name("r432", scale=SCALE)
+    return generators.by_name(name, scale=SCALE)
+
+
+def apply_random_edit(rng: random.Random, nl: Netlist) -> None:
+    """One journalled, acyclicity-preserving mutation."""
+    editable = [g.index for g in nl.gates
+                if g.gtype not in (GateType.INPUT, GateType.CONST0,
+                                   GateType.CONST1, GateType.DFF)]
+    while True:
+        target = rng.choice(editable)
+        gate = nl.gates[target]
+        op = rng.randrange(3)
+        if op == 0:
+            pool = _UNARY_POOL if len(gate.fanin) == 1 else _MULTI_POOL
+            choices = [t for t in pool if t is not gate.gtype]
+            nl.set_gate_type(target, rng.choice(choices))
+            return
+        if op == 1:
+            cone = nl.fanout_cone(target)
+            sources = [g.index for g in nl.gates
+                       if g.index not in cone and g.index != target]
+            pin = rng.randrange(len(gate.fanin))
+            src = rng.choice(sources)
+            if src == gate.fanin[pin]:
+                continue  # no-op rewire: journal records nothing
+            nl.replace_fanin_pin(target, pin, src)
+            return
+        pin = rng.randrange(len(gate.fanin))
+        nl.insert_gate_on_branch(target, pin, GateType.NOT)
+        return
+
+
+def materialize(facts: NetlistFacts) -> tuple:
+    """Touch every benchmarked fact section; return a comparable state."""
+    constants = dict(facts.constants())
+    groups = facts.duplicate_groups()
+    implications = facts.implications().edge_count()
+    blocked = facts.blocked_signals(deep=True)
+    return (constants, groups, implications, frozenset(blocked))
+
+
+def maintain_record(name: str, edits: int, seed: int = 7) -> dict:
+    """Warm-vs-scratch fact maintenance over one edit sequence."""
+    warm_nl = build_circuit(name)
+    scratch_nl = build_circuit(name)
+    # Both paths start from materialized facts (the diagnosis root).
+    FACTS_CACHE.reset()
+    materialize(netlist_facts(warm_nl))
+    materialize(NetlistFacts(scratch_nl))
+    FACTS_CACHE.reset()
+
+    rng = random.Random(seed)
+    warm_s = 0.0
+    warm_state = None
+    for _ in range(edits):
+        apply_random_edit(rng, warm_nl)
+        t0 = time.perf_counter()
+        warm_state = materialize(netlist_facts(warm_nl))
+        warm_s += time.perf_counter() - t0
+    reused = FACTS_CACHE.facts_reused
+    delta_edits = FACTS_CACHE.delta_edits
+
+    rng = random.Random(seed)
+    scratch_s = 0.0
+    scratch_state = None
+    for _ in range(edits):
+        apply_random_edit(rng, scratch_nl)
+        t0 = time.perf_counter()
+        scratch_state = materialize(NetlistFacts(scratch_nl))
+        scratch_s += time.perf_counter() - t0
+
+    assert warm_state == scratch_state, \
+        f"{name}: warm facts diverged from scratch facts"
+    return {
+        "suite": "maintain", "circuit": warm_nl.name,
+        "gates": len(warm_nl.gates), "edits": edits, "seed": seed,
+        "facts_reused": reused, "delta_edits": delta_edits,
+        "warm_s": warm_s, "scratch_s": scratch_s,
+        "warm_per_edit_ms": warm_s / edits * 1e3,
+        "scratch_per_edit_ms": scratch_s / edits * 1e3,
+        "speedup": (scratch_s / warm_s) if warm_s > 0 else 0.0,
+    }
+
+
+def run_suites(smoke: bool = False) -> dict:
+    names = SMOKE_CIRCUITS if smoke else CIRCUITS
+    edits = SMOKE_EDITS if smoke else EDITS
+    records = [maintain_record(name, edits) for name in names]
+    return {"schema": SCHEMA, "smoke": smoke, "records": records}
+
+
+def validate_payload(payload: dict) -> list:
+    errors = []
+    if payload.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA}")
+    records = payload.get("records", ())
+    if not records:
+        errors.append("no records")
+    for record in records:
+        if record.get("suite") != "maintain":
+            errors.append(f"unknown suite {record.get('suite')!r}")
+            continue
+        for key in ("circuit", "gates", "edits", "seed", "facts_reused",
+                    "delta_edits", "warm_s", "scratch_s", "speedup"):
+            if key not in record:
+                errors.append(f"maintain/{record.get('circuit')}: "
+                              f"missing {key}")
+        circuit = record.get("circuit")
+        if record.get("facts_reused", 0) > record.get("edits", 0):
+            errors.append(f"maintain/{circuit}: more warm repairs than "
+                          "edit steps")
+        if record.get("delta_edits", 0) < record.get("facts_reused", 1):
+            errors.append(f"maintain/{circuit}: every warm repair must "
+                          "replay at least one journal edit")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_bench_payload_schema():
+    payload = run_suites(smoke=True)
+    assert validate_payload(payload) == []
+    for record in payload["records"]:
+        # the repair path must actually carry the maintenance load
+        assert record["facts_reused"] == record["edits"]
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="regenerate BENCH_incr.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced circuits/edits for CI")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing payload and exit")
+    parser.add_argument("--out", default="BENCH_incr.json")
+    args = parser.parse_args(argv)
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            errors = validate_payload(json.load(fh))
+        for err in errors:
+            print(f"schema: {err}")
+        print(f"{args.check}: {'FAIL' if errors else 'ok'}")
+        return 2 if errors else 0
+    payload = run_suites(smoke=args.smoke)
+    errors = validate_payload(payload)
+    if errors:
+        for err in errors:
+            print(f"schema: {err}")
+        return 2
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for record in payload["records"]:
+        print(f"{record['circuit']:>10}: {record['edits']} edits "
+              f"warm {record['warm_per_edit_ms']:.2f}ms/edit vs "
+              f"scratch {record['scratch_per_edit_ms']:.2f}ms/edit "
+              f"-> {record['speedup']:.1f}x "
+              f"({record['facts_reused']} repairs, "
+              f"{record['delta_edits']} journal edits)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

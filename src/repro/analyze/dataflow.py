@@ -40,8 +40,12 @@ finite lattice attached to every signal.  This module provides:
      controlling value.
 
 The facts are cached on the netlist itself (``netlist._facts``) and
-invalidated by :meth:`Netlist._dirty`, mirroring the derived-structure
-caches of the simulation kernel.  Consumers: the deep lint rules
+stamped with the netlist's edit-journal version: :func:`netlist_facts`
+returns the cached bundle while the version matches, *repairs* it from
+the recorded :class:`~repro.circuit.delta.NetlistDelta` (see
+:mod:`repro.analyze.incremental`) when the journal can describe what
+changed, and recomputes from scratch only on a full invalidation
+(:meth:`Netlist._dirty`).  Consumers: the deep lint rules
 (:mod:`repro.analyze.rules_deep`), the rewired ``const-feed`` /
 ``unobservable-line`` semantic rules, the static suspect pre-screen in
 :mod:`repro.diagnose.screening`, and the ``repro facts`` CLI.
@@ -444,6 +448,9 @@ class Implications:
         n = len(netlist.gates)
         self.num_nodes = 2 * n
         self._succ: List[List[int]] = [[] for _ in range(self.num_nodes)]
+        # Direct edges recorded per gate so a repair can retract exactly
+        # the edges an edited gate contributed (repro.analyze.incremental).
+        self._gate_edges: Dict[int, List[Tuple[int, int]]] = {}
         self._build(netlist)
         self._reach = self._close()
         self._impossible = self._find_impossible(constants)
@@ -455,38 +462,49 @@ class Implications:
         self._succ[u].append(w)
         self._succ[w ^ 1].append(u ^ 1)
 
+    @staticmethod
+    def edges_for_gate(gate: Gate) -> List[Tuple[int, int]]:
+        """Direct implication edges contributed by one gate (the
+        contrapositives are added separately by :meth:`_edge`)."""
+        gt = gate.gtype
+        if gt in (GateType.INPUT, GateType.CONST0, GateType.CONST1,
+                  GateType.DFF):
+            return []
+        g1 = 2 * gate.index + 1
+        g0 = 2 * gate.index
+        ins = gate.fanin
+        unary_like = len(ins) == 1
+        edges: List[Tuple[int, int]] = []
+        if gt is GateType.BUF or (unary_like and gt in (
+                GateType.AND, GateType.OR, GateType.XOR)):
+            edges.append((g1, 2 * ins[0] + 1))
+            edges.append((g0, 2 * ins[0]))
+        elif gt is GateType.NOT or (unary_like and gt in (
+                GateType.NAND, GateType.NOR, GateType.XNOR)):
+            edges.append((g1, 2 * ins[0]))
+            edges.append((g0, 2 * ins[0] + 1))
+        elif gt is GateType.AND:
+            for src in ins:
+                edges.append((g1, 2 * src + 1))
+        elif gt is GateType.NAND:
+            for src in ins:
+                edges.append((g0, 2 * src + 1))
+        elif gt is GateType.OR:
+            for src in ins:
+                edges.append((g0, 2 * src))
+        elif gt is GateType.NOR:
+            for src in ins:
+                edges.append((g1, 2 * src))
+        # XOR/XNOR with >= 2 inputs admit no single-literal implications.
+        return edges
+
     def _build(self, netlist: Netlist) -> None:
         for gate in netlist.gates:
-            gt = gate.gtype
-            if gt in (GateType.INPUT, GateType.CONST0, GateType.CONST1,
-                      GateType.DFF):
-                continue
-            g1 = 2 * gate.index + 1
-            g0 = 2 * gate.index
-            ins = gate.fanin
-            unary_like = len(ins) == 1
-            if gt is GateType.BUF or (unary_like and gt in (
-                    GateType.AND, GateType.OR, GateType.XOR)):
-                self._edge(g1, 2 * ins[0] + 1)
-                self._edge(g0, 2 * ins[0])
-            elif gt is GateType.NOT or (unary_like and gt in (
-                    GateType.NAND, GateType.NOR, GateType.XNOR)):
-                self._edge(g1, 2 * ins[0])
-                self._edge(g0, 2 * ins[0] + 1)
-            elif gt is GateType.AND:
-                for src in ins:
-                    self._edge(g1, 2 * src + 1)
-            elif gt is GateType.NAND:
-                for src in ins:
-                    self._edge(g0, 2 * src + 1)
-            elif gt is GateType.OR:
-                for src in ins:
-                    self._edge(g0, 2 * src)
-            elif gt is GateType.NOR:
-                for src in ins:
-                    self._edge(g1, 2 * src)
-            # XOR/XNOR with >= 2 inputs admit no single-literal
-            # implications.
+            edges = self.edges_for_gate(gate)
+            if edges:
+                self._gate_edges[gate.index] = edges
+                for u, w in edges:
+                    self._edge(u, w)
 
     # -- closure -------------------------------------------------------
     def _close(self) -> List[int]:
@@ -650,8 +668,12 @@ class NetlistFacts:
 
     def __init__(self, netlist: Netlist):
         self.netlist = netlist
+        #: Edit-journal version this bundle describes; when the netlist
+        #: moves past it, :func:`netlist_facts` repairs or recomputes.
+        self.version: int = netlist._version
         self._constants: Optional[Dict[int, int]] = None
         self._literals: Optional[List[Tuple[int, bool]]] = None
+        self._lit_domain: Optional[_StructuralClasses] = None
         self._implications: Optional[Implications] = None
         self._observable: Optional[frozenset] = None
         self._dominators: Optional[List[Optional[int]]] = None
@@ -706,12 +728,11 @@ class NetlistFacts:
     def literals(self) -> List[Tuple[int, bool]]:
         """Normalized literal ``(class, negated)`` per signal."""
         if self._literals is None:
-            values = run_dataflow(
-                self.netlist,
-                _StructuralClasses(
-                    [self.constants().get(i)
-                     for i in range(len(self.netlist.gates))]))
-            self._literals = values
+            domain = _StructuralClasses(
+                [self.constants().get(i)
+                 for i in range(len(self.netlist.gates))])
+            self._literals = run_dataflow(self.netlist, domain)
+            self._lit_domain = domain
         return self._literals
 
     def duplicate_groups(self) -> List[List[int]]:
@@ -731,8 +752,11 @@ class NetlistFacts:
             if lit[0] == _CONST_CLASS:
                 continue
             groups.setdefault(lit, []).append(gate.index)
-        return [sorted(members) for lit, members in
-                sorted(groups.items()) if len(members) >= 2]
+        # Sorted by member content, not by raw class id: the partition is
+        # the invariant — ids may differ between a scratch numbering and
+        # a delta-repaired one that reuses the memo.
+        return sorted(sorted(members) for members in groups.values()
+                      if len(members) >= 2)
 
     # -- implications --------------------------------------------------
     def implications(self) -> Implications:
@@ -893,7 +917,7 @@ class NetlistFacts:
                                  else conflict_budget),
                 nvectors=(DEFAULT_VECTORS if nvectors is None
                           else nvectors),
-                seed=seed)
+                seed=seed, retirable=True)
         elif conflict_budget is not None:
             self._prover.conflict_budget = conflict_budget
         return self._prover
@@ -1005,15 +1029,63 @@ class NetlistFacts:
         return out
 
 
-def netlist_facts(netlist: Netlist) -> NetlistFacts:
-    """The facts bundle for ``netlist``, cached until the next mutation.
+class FactsCacheStats:
+    """Process-wide tally of :func:`netlist_facts` cache decisions.
 
-    The cache rides on ``netlist._facts`` and is cleared by
-    :meth:`Netlist._dirty` together with the simulator's derived
-    structures, so a stale bundle can never describe a mutated circuit.
+    ``facts_reused`` counts bundles repaired from an edit-journal delta,
+    ``facts_recomputed`` bundles built from scratch (first touch or full
+    invalidation), ``delta_edits`` the journal records those repairs
+    replayed.  Same-version cache hits move nothing.  Surfaced by
+    ``repro facts --stats`` so incrementality is observable end to end.
+    """
+
+    __slots__ = ("facts_reused", "facts_recomputed", "delta_edits")
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.facts_reused = 0
+        self.facts_recomputed = 0
+        self.delta_edits = 0
+
+    def snapshot(self) -> dict:
+        return {"facts_reused": self.facts_reused,
+                "facts_recomputed": self.facts_recomputed,
+                "delta_edits": self.delta_edits}
+
+
+#: The module-wide counter instance (reset it before a measured block).
+FACTS_CACHE = FactsCacheStats()
+
+
+def netlist_facts(netlist: Netlist) -> NetlistFacts:
+    """The facts bundle for ``netlist``, cached and version-checked.
+
+    The cache rides on ``netlist._facts``.  While the netlist's
+    edit-journal version matches the bundle's, the cached object is
+    returned as-is.  After journalled mutations the bundle is *repaired*
+    from the delta (:func:`repro.analyze.incremental.warm_facts` —
+    only the materialized sections pay, and only cone-locally); a full
+    invalidation (:meth:`Netlist._dirty`) cleared the cache entirely, so
+    a stale bundle can never describe a mutated circuit.  Either way a
+    *new* bundle object is installed after a mutation: identity of the
+    returned object certifies an unchanged snapshot.
     """
     facts = netlist._facts
-    if not isinstance(facts, NetlistFacts):
-        facts = NetlistFacts(netlist)
-        netlist._facts = facts
-    return facts
+    if isinstance(facts, NetlistFacts):
+        if facts.version == netlist._version:
+            return facts
+        delta = netlist.edits_since(facts.version)
+        if delta is not None:
+            from .incremental import warm_facts
+
+            fresh = warm_facts(netlist, facts, delta)
+            netlist._facts = fresh
+            FACTS_CACHE.facts_reused += 1
+            FACTS_CACHE.delta_edits += len(delta)
+            return fresh
+    fresh = NetlistFacts(netlist)
+    netlist._facts = fresh
+    FACTS_CACHE.facts_recomputed += 1
+    return fresh

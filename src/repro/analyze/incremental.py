@@ -1,0 +1,455 @@
+"""Delta-driven repair of cached static analysis facts.
+
+:func:`warm_facts` takes a stale :class:`~repro.analyze.dataflow.NetlistFacts`
+bundle plus the :class:`~repro.circuit.delta.NetlistDelta` recorded since
+its version, and returns a *fresh* bundle whose materialized sections are
+repaired cone-locally instead of recomputed from scratch.  Sections the
+base never materialized stay lazy; sections outside the caller's
+``sections`` filter are dropped back to lazy too (the diagnosis engine
+asks only for what its pre-screen reads).
+
+Every repair rule is **exact** — the repaired section equals the
+from-scratch computation on the edited netlist (class *ids* of the
+structural hash may differ; the induced partition does not).  The
+arguments, per layer:
+
+* **Region re-solve** (:func:`_solve_region`).  For a forward analysis
+  the repair region is the union of the fanout cones of the edited
+  gates; for a backward analysis the union of the fanin cones of the
+  seed set.  A node outside the region has no edited node among its
+  transitive dependencies (else the cone BFS would have reached it), so
+  the old fixpoint restricted to the outside is a fixpoint of the new
+  system there — and by the uniqueness of least/greatest fixpoints of
+  monotone maps it *is* the new fixpoint outside.  Cycles are wholly in
+  or out of a region (their members are mutually reachable), so the
+  region subgraph's own SCC condensation schedules exactly like the
+  global one.  Re-descending the region from its lattice origin with
+  correct boundary values therefore reproduces the scratch answer.
+* **Structural hash**: the repaired run continues the base numbering
+  (memo and counter are inherited), so only the edited region is
+  rehashed.  Leaf keys ``("leaf", idx)`` coincide in both numberings and
+  composite keys correspond inductively, giving a bijection between the
+  warm and scratch class ids — partitions, duplicate groups and
+  constant-class membership are identical.
+* **Implications**: the per-gate direct edges recorded by
+  :class:`~repro.analyze.dataflow.Implications` are surgically swapped
+  for the edited gates; only literals that can reach a changed
+  endpoint (in the old *or* new graph — membership of a removed edge
+  matters too) can change their reachability set, so transitive closure
+  is recomputed for that affected set only.
+* **ODC blocked verdicts**: a node's verdict reads its dominators, its
+  cone, the dominator gates' definitions, its observability and the
+  constant status of the dominators' side inputs.  The first four only
+  change inside the dominator repair region (every witness is
+  combinationally reachable from the node, so the node sits in the
+  region's backward cone); a flipped side-input constant of dominator
+  ``d`` only moves verdicts inside ``d``'s fanin cone.  Verdicts are
+  re-derived for that affected set and copied everywhere else.
+* **Reset fixpoint**: warm-started re-descent.  Sweep one re-solves the
+  edit region plus the cones of registers whose assumed value differs
+  between the cached final state and the sweep's initial state; each
+  later sweep re-solves only the cones of the registers the previous
+  widening moved to X.  The state sequence — and hence the iteration
+  count — matches the scratch loop exactly, because each sweep's value
+  vector is reproduced exactly (soundness of warm-started *monotone*
+  fixpoints: re-descent from a state that only differs inside the
+  region cannot overshoot the scratch fixpoint, unlike restarting from
+  an arbitrary warmer point).
+* **CNF**: the cached retirable :class:`~repro.analyze.prove.Prover` is
+  carried over when the netlist object itself was edited in place —
+  stale gate clauses are retired by activation-literal units and the
+  edited gates re-encoded append-only (:meth:`Prover.refresh`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..circuit.gatetypes import GateType
+from ..circuit.netlist import Netlist
+from .dataflow import (_CONST_CLASS, DataflowDomain, Implications,
+                       NetlistFacts, TernaryConstants, _Dominators,
+                       _StructuralClasses, strongly_connected_components)
+
+__all__ = ["warm_facts", "ALL_SECTIONS"]
+
+#: Repairable bundle sections, in dependency order.
+ALL_SECTIONS = frozenset([
+    "constants", "literals", "implications", "observable", "dominators",
+    "cones", "reset", "prover",
+])
+
+
+# ----------------------------------------------------------------------
+# regions
+# ----------------------------------------------------------------------
+def _forward_region(netlist: Netlist, seeds: Iterable[int]) -> Set[int]:
+    """Union of the combinational fanout cones of ``seeds`` (cycle-safe
+    BFS — :meth:`Netlist.sorted_cone` would topo-sort and raise)."""
+    gates = netlist.gates
+    fanouts = netlist.fanouts()
+    seen = set(seeds)
+    stack = list(seen)
+    while stack:
+        node = stack.pop()
+        for nxt in fanouts[node]:
+            if nxt not in seen and gates[nxt].gtype is not GateType.DFF:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+def _backward_region(netlist: Netlist, seeds: Iterable[int]) -> Set[int]:
+    """Union of the combinational fanin cones of ``seeds`` (a DFF's
+    fanin is a sequential edge: the walk includes the DFF, stops there)."""
+    gates = netlist.gates
+    seen = set(seeds)
+    stack = list(seen)
+    while stack:
+        node = stack.pop()
+        gate = gates[node]
+        if gate.gtype is GateType.DFF:
+            continue
+        for src in gate.fanin:
+            if src not in seen:
+                seen.add(src)
+                stack.append(src)
+    return seen
+
+
+def _solve_region(netlist: Netlist, domain: DataflowDomain,
+                  values: list, region: Set[int]) -> None:
+    """Re-run ``domain`` to its fixed point on ``region`` only, in place.
+
+    ``values`` must hold the correct new fixpoint outside the region
+    (boundary reads stay valid); region entries are reset to the domain
+    origin and re-descended over the region subgraph's SCC condensation,
+    mirroring :func:`~repro.analyze.dataflow.run_dataflow` exactly.
+    """
+    if not region:
+        return
+    gates = netlist.gates
+    members = sorted(region)
+    local = {g: i for i, g in enumerate(members)}
+    if domain.direction == "forward":
+        def deps_of(g: int) -> list:
+            gate = gates[g]
+            return [] if gate.gtype is GateType.DFF else gate.fanin
+    else:
+        fanouts = netlist.fanouts()
+
+        def deps_of(g: int) -> list:
+            return [c for c in dict.fromkeys(fanouts[g])
+                    if gates[c].gtype is not GateType.DFF]
+    local_deps = [[local[d] for d in deps_of(g) if d in local]
+                  for g in members]
+    comps = strongly_connected_components(len(members),
+                                          local_deps.__getitem__)
+    for g in members:
+        values[g] = domain.start(gates[g])
+    for comp in comps:
+        cyclic = len(comp) > 1 or comp[0] in local_deps[comp[0]]
+        if not cyclic:
+            g = members[comp[0]]
+            values[g] = domain.transfer(gates[g], values)
+            continue
+        if not domain.iterate_cycles:
+            for li in comp:
+                g = members[li]
+                values[g] = domain.cycle_value(gates[g])
+            continue
+        in_comp = set(comp)
+        users: Dict[int, List[int]] = {li: [] for li in comp}
+        for li in comp:
+            for d in local_deps[li]:
+                if d in in_comp:
+                    users[d].append(li)
+        pending = list(comp)
+        queued = set(comp)
+        while pending:
+            li = pending.pop()
+            queued.discard(li)
+            g = members[li]
+            new = domain.transfer(gates[g], values)
+            if new != values[g]:
+                values[g] = new
+                for u in users[li]:
+                    if u not in queued:
+                        queued.add(u)
+                        pending.append(u)
+
+
+# ----------------------------------------------------------------------
+# per-section repairs
+# ----------------------------------------------------------------------
+def _repair_implications(netlist: Netlist, base_imp: Implications,
+                         touched: Set[int],
+                         constants: Dict[int, int]) -> Implications:
+    """Surgical edge swap + affected-set closure recompute."""
+    n = len(netlist.gates)
+    imp = Implications.__new__(Implications)
+    imp.netlist = netlist
+    imp.num_nodes = 2 * n
+    succ: List[List[int]] = [list(row) for row in base_imp._succ]
+    succ.extend([] for _ in range(imp.num_nodes - len(succ)))
+    imp._succ = succ
+    gate_edges = dict(base_imp._gate_edges)
+    # Literals whose outgoing edge multiset changed: for an edge (u, w)
+    # that is the tail u and the contrapositive tail w^1.
+    changed: Set[int] = set()
+    for g in sorted(touched):
+        old_edges = gate_edges.get(g, [])
+        new_edges = Implications.edges_for_gate(netlist.gates[g])
+        if sorted(old_edges) == sorted(new_edges):
+            continue
+        for u, w in old_edges:
+            succ[u].remove(w)
+            succ[w ^ 1].remove(u ^ 1)
+            changed.add(u)
+            changed.add(w ^ 1)
+        for u, w in new_edges:
+            succ[u].append(w)
+            succ[w ^ 1].append(u ^ 1)
+            changed.add(u)
+            changed.add(w ^ 1)
+        if new_edges:
+            gate_edges[g] = new_edges
+        else:
+            gate_edges.pop(g, None)
+    imp._gate_edges = gate_edges
+    reach = list(base_imp._reach)
+    for u in range(len(reach), imp.num_nodes):
+        reach.append(1 << u)  # fresh literals reach only themselves yet
+    if changed:
+        # Only literals that can reach a changed tail — in the old graph
+        # (a removed path mattered) or the new one (an added path does) —
+        # can see a different closure.  Predecessor walk uses the
+        # contrapositive symmetry: preds(x) = {w^1 : w in succ[x^1]}.
+        old_succ = base_imp._succ
+        affected = set(changed)
+        stack = list(changed)
+        while stack:
+            x = stack.pop()
+            rows = []
+            if (x ^ 1) < len(old_succ):
+                rows.append(old_succ[x ^ 1])
+            rows.append(succ[x ^ 1])
+            for row in rows:
+                for w in row:
+                    p = w ^ 1
+                    if p not in affected:
+                        affected.add(p)
+                        stack.append(p)
+        aff_sorted = sorted(affected)
+        local = {x: i for i, x in enumerate(aff_sorted)}
+        local_succ = [[local[w] for w in succ[x] if w in local]
+                      for x in aff_sorted]
+        comps = strongly_connected_components(len(aff_sorted),
+                                              local_succ.__getitem__)
+        for comp in comps:
+            comp_members = {aff_sorted[li] for li in comp}
+            bits = 0
+            for li in comp:
+                x = aff_sorted[li]
+                bits |= 1 << x
+                for w in succ[x]:
+                    if w in comp_members:
+                        continue
+                    # Outside the affected set reach[w] never changed;
+                    # inside it, successors-first order finalized it.
+                    bits |= reach[w]
+            for x in comp_members:
+                reach[x] = bits
+    imp._reach = reach
+    imp._impossible = imp._find_impossible(constants)
+    imp.implied_constants = imp._implied_constants()
+    return imp
+
+
+def _repair_reset(netlist: Netlist, base: NetlistFacts,
+                  fresh: NetlistFacts, delta, region: Set[int]) -> None:
+    """Exact warm re-descent of every cached reset fixpoint."""
+    from .seq import ResetFixpoint, widen_state
+
+    for edit in delta:
+        if edit.kind == "gate_added" and edit.new[0] is GateType.DFF:
+            return  # register set grew: cached state keys are obsolete
+    gates = netlist.gates
+    n = len(gates)
+    for key, base_fx in base._reset.items():
+        state = dict(key)
+        values = list(base_fx.values)
+        values.extend(None for _ in range(n - len(values)))
+        # Sweep 1 differs from the cached final sweep inside the edit
+        # region and inside the cones of registers whose assumed value
+        # changes back from the cached final state to the initial one.
+        seeds = set(d for d, v in state.items()
+                    if base_fx.state.get(d) != v)
+        sweep_region = _forward_region(netlist, seeds) | region
+        iterations = 0
+        while True:
+            iterations += 1
+            _solve_region(netlist, TernaryConstants(assume=state),
+                          values, sweep_region)
+            new_state = widen_state(gates, state, values)
+            if new_state == state:
+                break
+            moved = {d for d in state if new_state[d] != state[d]}
+            state = new_state
+            sweep_region = _forward_region(netlist, moved)
+        fresh._reset[key] = ResetFixpoint(
+            state=state, values=values,
+            constants={i: v for i, v in enumerate(values)
+                       if v is not None},
+            stuck_registers={d: v for d, v in sorted(state.items())
+                             if v is not None},
+            iterations=iterations)
+
+
+# ----------------------------------------------------------------------
+# the bundle repair
+# ----------------------------------------------------------------------
+def warm_facts(netlist: Netlist, base: NetlistFacts, delta,
+               sections: Optional[Iterable[str]] = None) -> NetlistFacts:
+    """Build a fresh :class:`NetlistFacts` for ``netlist``, repairing the
+    sections ``base`` had materialized from the journalled ``delta``.
+
+    ``base`` is never mutated — the diagnosis engine warms a child
+    netlist's bundle from its *parent's*, which must stay intact.
+    ``sections`` (default: everything) limits which sections are worth
+    repairing; the rest fall back to lazy recomputation on demand.
+    """
+    want = ALL_SECTIONS if sections is None else frozenset(sections)
+    fresh = NetlistFacts(netlist)
+    touched = delta.touched_gates()
+    sources = delta.touched_sources()
+    n = len(netlist.gates)
+
+    region: Optional[Set[int]] = None
+
+    def fwd_region() -> Set[int]:
+        nonlocal region
+        if region is None:
+            region = _forward_region(netlist, touched)
+        return region
+
+    # -- constants (needed by literals and implications too) -----------
+    need_constants = want & {"constants", "literals", "implications",
+                             "reset"}
+    if base._constants is not None and need_constants:
+        values: list = [base._constants.get(i) for i in range(n)]
+        _solve_region(netlist, TernaryConstants(), values, fwd_region())
+        fresh._constants = {i: v for i, v in enumerate(values)
+                            if v is not None}
+
+    # -- structural hash: continue the base numbering ------------------
+    if (base._literals is not None and base._lit_domain is not None
+            and "literals" in want):
+        consts = fresh.constants()
+        domain = _StructuralClasses([consts.get(i) for i in range(n)])
+        domain.memo = dict(base._lit_domain.memo)
+        domain.next_class = base._lit_domain.next_class
+        lits: list = list(base._literals)
+        lits.extend(None for _ in range(n - len(lits)))
+        _solve_region(netlist, domain, lits, fwd_region())
+        fresh._literals = lits
+        fresh._lit_domain = domain
+
+    # -- implications --------------------------------------------------
+    if base._implications is not None and "implications" in want:
+        fresh._implications = _repair_implications(
+            netlist, base._implications, touched, fresh.constants())
+
+    # -- observability -------------------------------------------------
+    if base._observable is not None and "observable" in want \
+            and not delta.connectivity_changed():
+        fresh._observable = base._observable
+
+    # -- dominators ----------------------------------------------------
+    dom_region: Optional[Set[int]] = None
+    if base._dominators is not None and "dominators" in want \
+            and base._observable is not None:
+        old_obs = base._observable
+        new_obs = fresh.observable_set()
+        seeds = set(touched) | set(sources)
+        outs_before = delta.outputs_before()
+        if outs_before is not None:
+            seeds |= set(outs_before) ^ set(netlist.outputs)
+        seeds |= old_obs ^ new_obs
+        dom: list = [base._dominators[i] if i < len(base._dominators)
+                     else None for i in range(n)]
+        # Old bitsets lack the new gates' bits — exactly right: a new
+        # gate on every output path of an un-re-solved node would have
+        # put that node inside the repair region.
+        dom_region = _backward_region(netlist, seeds)
+        _solve_region(netlist, _Dominators(netlist, new_obs), dom,
+                      dom_region)
+        fresh._dominators = [dom[i] if i in new_obs else None
+                             for i in range(n)]
+
+    # -- cones ---------------------------------------------------------
+    if base._cones and "cones" in want:
+        for start, cone in base._cones.items():
+            if sources.isdisjoint(cone):
+                fresh._cones[start] = cone
+
+    # -- ODC blocked verdicts ------------------------------------------
+    # blocked(i) reads dominators(i), cone(i), the dominator gates'
+    # definitions, observability of i and the constant status of the
+    # dominators' side inputs.  The first four can only change for
+    # nodes inside the dominator repair region (a dominator, a touched
+    # gate or a changed-cone witness is combinationally reachable from
+    # i, and the region is exactly the backward cone of every seed);
+    # a changed side-input constant of a dominator d can only move
+    # verdicts of nodes in d's fanin cone.  Everything outside keeps
+    # its base verdict.  Only the key the fresh bundle itself would
+    # compute is repaired — a stale other-keyed entry stays lazy.
+    key = fresh._implications is not None
+    if base._blocked.get(key) is not None and "dominators" in want \
+            and dom_region is not None and base._constants is not None \
+            and (not key or fresh._literals is not None):
+        old_consts = dict(base._constants)
+        new_consts = dict(fresh.constants())
+        if key:
+            # mirror NetlistFacts.known_constants(deep=True) merge order
+            for consts, facts in ((old_consts, base), (new_consts, fresh)):
+                consts.update(facts._implications.implied_constants)
+                consts.update(
+                    {i: int(lit[1])
+                     for i, lit in enumerate(facts._literals)
+                     if lit is not None and lit[0] == _CONST_CLASS
+                     and i not in facts._constants})
+        affected = set(dom_region)
+        diff = {s for s in old_consts.keys() | new_consts.keys()
+                if old_consts.get(s) != new_consts.get(s)}
+        if diff:
+            heads = [g.index for g in netlist.gates
+                     if not diff.isdisjoint(g.fanin)]
+            affected |= _backward_region(netlist, heads)
+        new_obs = fresh.observable_set()
+        blocked = {i for i in base._blocked[key] if i not in affected}
+        for i in affected:
+            if i not in new_obs:
+                continue
+            for cond in fresh.odc_conditions(i):
+                if new_consts.get(cond.side_input) == cond.ctrl:
+                    blocked.add(i)
+                    break
+        fresh._blocked[key] = frozenset(blocked)
+
+    # -- reset fixpoints -----------------------------------------------
+    if base._reset and "reset" in want:
+        _repair_reset(netlist, base, fresh, delta, fwd_region())
+
+    # -- the retirable CNF ---------------------------------------------
+    # Only when the *same* netlist object was edited in place — the
+    # prover is stolen from the bundle being replaced.  A child copy
+    # gets its own prover lazily.  The sequential prover's unrollings
+    # are not retirable; it is always rebuilt on demand.
+    if base._prover is not None and "prover" in want \
+            and base.netlist is netlist:
+        prover = base._prover
+        if prover.refresh(netlist, delta, facts=fresh):
+            fresh._prover = prover
+
+    return fresh

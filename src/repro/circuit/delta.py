@@ -1,0 +1,143 @@
+"""Structured netlist edit journal: the delta model of incremental facts.
+
+Every :class:`~repro.circuit.netlist.Netlist` mutator used to call a
+blanket ``_dirty()`` that dropped every derived cache — topological
+ranks, fanout lists, cones, dataflow facts, the Tseitin encoding —
+making static analysis unaffordable anywhere but the diagnosis root.
+This module defines the *edit journal* that replaces it: each mutation
+appends one or more :class:`NetlistEdit` records, a monotone version
+counter advances, and consumers (the netlist's own structural caches,
+:mod:`repro.analyze.incremental`, the retirable CNF of
+:mod:`repro.analyze.prove`) repair themselves from the recorded delta
+instead of recomputing from scratch.
+
+Edit kinds (one record per primitive change; compound mutators such as
+``insert_gate_on_stem`` decompose into a ``gate_added`` plus one
+``pin_replaced`` per rewired consumer pin plus an ``outputs_set``):
+
+========== ===========================================================
+kind        payload
+========== ===========================================================
+gate_added  ``gate`` = new index, ``new`` = ``(gtype, fanin tuple)``
+type_changed  ``gate``, ``old``/``new`` = the :class:`GateType` pair
+pin_replaced  ``gate``, ``pin``, ``old``/``new`` = source indices
+pin_removed   ``gate``, ``pin``, ``old`` = removed source index
+pin_added     ``gate``, ``new`` = appended source index
+outputs_set   ``old``/``new`` = the output index tuples
+========== ===========================================================
+
+The journal is bounded (:data:`JOURNAL_CAP`); when it overflows, or when
+an edit defies per-record description (legacy ``_dirty()`` calls, cut
+type changes), the netlist falls back to *full invalidation*: the
+journal resets and :meth:`Netlist.edits_since` answers ``None`` for any
+version predating the reset, which every consumer must treat as
+"recompute from scratch".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Set, Tuple
+
+__all__ = ["NetlistEdit", "NetlistDelta", "JOURNAL_CAP"]
+
+#: Maximum journal length; beyond it the oldest half is discarded and
+#: consumers holding versions older than the cut see a full invalidate.
+#: Construction appends thousands of ``gate_added`` records, so the cap
+#: also bounds the journal memory of freshly parsed netlists.
+JOURNAL_CAP = 1024
+
+
+@dataclass(frozen=True)
+class NetlistEdit:
+    """One primitive structural change (see module table for payloads)."""
+
+    kind: str
+    gate: int = -1
+    pin: int = -1
+    old: object = None
+    new: object = None
+
+
+class NetlistDelta:
+    """An ordered slice of the edit journal between two versions.
+
+    Obtained from :meth:`Netlist.edits_since`.  The accessors derive the
+    seed sets every cache-repair rule needs; they are pure functions of
+    the edit list (computed lazily, cached on the instance).
+    """
+
+    __slots__ = ("edits", "_touched", "_sources", "_outputs_before")
+
+    def __init__(self, edits: Tuple[NetlistEdit, ...]):
+        self.edits = edits
+        self._touched: Optional[Set[int]] = None
+        self._sources: Optional[Set[int]] = None
+        self._outputs_before: object = _UNSET
+
+    def __len__(self) -> int:
+        return len(self.edits)
+
+    def __iter__(self) -> Iterator[NetlistEdit]:
+        return iter(self.edits)
+
+    def __bool__(self) -> bool:
+        return bool(self.edits)
+
+    def touched_gates(self) -> Set[int]:
+        """Gates whose *function or fanin list* changed (added gates
+        included) — the forward-analysis seed set."""
+        if self._touched is None:
+            touched: Set[int] = set()
+            for e in self.edits:
+                if e.kind in ("gate_added", "type_changed", "pin_replaced",
+                              "pin_removed", "pin_added"):
+                    touched.add(e.gate)
+            self._touched = touched
+        return self._touched
+
+    def touched_sources(self) -> Set[int]:
+        """Signals whose *fanout list* changed: every old/new source of
+        a pin edit plus the fanins of added gates — the seed set for
+        cone and dominator repair."""
+        if self._sources is None:
+            sources: Set[int] = set()
+            for e in self.edits:
+                if e.kind == "pin_replaced":
+                    sources.add(e.old)
+                    sources.add(e.new)
+                elif e.kind == "pin_removed":
+                    sources.add(e.old)
+                elif e.kind == "pin_added":
+                    sources.add(e.new)
+                elif e.kind == "gate_added":
+                    sources.update(e.new[1])
+            self._sources = sources
+        return self._sources
+
+    def outputs_before(self) -> Optional[Tuple[int, ...]]:
+        """The output list as it stood before this delta, or ``None``
+        when no ``outputs_set`` edit is recorded (outputs unchanged)."""
+        if self._outputs_before is _UNSET:
+            before = None
+            for e in self.edits:
+                if e.kind == "outputs_set":
+                    before = tuple(e.old)
+                    break
+            self._outputs_before = before
+        return self._outputs_before
+
+    def outputs_changed(self) -> bool:
+        return self.outputs_before() is not None
+
+    def connectivity_changed(self) -> bool:
+        """True when any edge or the output list changed (anything but
+        pure ``type_changed`` records)."""
+        return any(e.kind != "type_changed" for e in self.edits)
+
+
+class _Unset:
+    __slots__ = ()
+
+
+_UNSET = _Unset()

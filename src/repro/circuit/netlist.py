@@ -7,8 +7,13 @@ output" are interchangeable here.  Primary inputs are gates of type
 
 The netlist is *mutable* because the diagnosis algorithm repeatedly applies
 structural corrections (change a gate's type, insert an inverter, rewire a
-fanin, tie a line to a constant).  Mutation methods invalidate the cached
-topological order / fanout lists, which are rebuilt lazily.
+fanin, tie a line to a constant).  Each mutation appends structured
+:class:`~repro.circuit.delta.NetlistEdit` records to an edit journal and
+*patches* the cached topological order / fanout lists / cones in place
+(Pearce–Kelly rank repair for order-violating edge insertions); a full
+invalidation (:meth:`Netlist._dirty`) remains as the fallback for edits
+with no per-record description.  Consumers snapshot :attr:`version` and
+later call :meth:`edits_since` to repair their own derived state.
 
 Gates removed by an edit are never physically deleted (indices stay
 stable); they become *detached* — no longer reachable from an output — and
@@ -19,9 +24,10 @@ a freshly-numbered copy when a clean netlist is needed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..errors import NetlistError
+from .delta import JOURNAL_CAP, NetlistDelta, NetlistEdit
 from .gatetypes import GateType, SOURCE_TYPES, arity_ok
 
 
@@ -45,6 +51,13 @@ class Gate:
         return Gate(self.index, self.name, self.gtype, list(self.fanin))
 
 
+#: Types whose signals cut the combinational graph (free values for the
+#: prover, sequential boundaries for cones).  A type change into or out of
+#: this set rewires connectivity semantics wholesale, so such edits fall
+#: back to full invalidation instead of a journal record.
+_CUT_GTYPES = (GateType.INPUT, GateType.DFF)
+
+
 class Netlist:
     """A combinational (or DFF-bearing) gate-level circuit."""
 
@@ -54,7 +67,7 @@ class Netlist:
         self.outputs: list[int] = []
         self._name2idx: dict[str, int] = {}
         self._fanouts: list[list[int]] | None = None
-        self._event_fanouts: tuple[tuple[int, ...], ...] | None = None
+        self._event_fanouts: list[tuple[int, ...]] | None = None
         self._topo: list[int] | None = None
         self._topo_pos: list[int] | None = None
         self._levels: list[int] | None = None
@@ -63,9 +76,15 @@ class Netlist:
         # Flat per-gate tables owned by repro.sim.logicsim (built lazily
         # there, invalidated here with the other derived caches).
         self._sim_tables: tuple | None = None
-        # Static-analysis facts owned by repro.analyze.dataflow (built
-        # lazily there, invalidated here with the other derived caches).
+        # Static-analysis facts owned by repro.analyze.dataflow.  Not
+        # dropped by journalled edits: repro.analyze.incremental repairs
+        # the bundle from the delta when versions diverge.
         self._facts: object | None = None
+        # Edit journal: monotone version counter plus the record list for
+        # versions in [_journal_base, _version].
+        self._version: int = 0
+        self._journal: list[NetlistEdit] = []
+        self._journal_base: int = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -91,7 +110,8 @@ class Netlist:
         index = len(self.gates)
         self.gates.append(Gate(index, name, gtype, list(fanin)))
         self._name2idx[name] = index
-        self._dirty()
+        self._record(NetlistEdit("gate_added", gate=index,
+                                 new=(gtype, tuple(fanin))))
         return index
 
     def add_input(self, name: str) -> int:
@@ -104,8 +124,11 @@ class Netlist:
         for out in outs:
             if not 0 <= out < len(self.gates):
                 raise NetlistError(f"output index {out} out of range")
+        if outs == self.outputs:
+            return
+        old = tuple(self.outputs)
         self.outputs = outs
-        self._dirty()
+        self._record(NetlistEdit("outputs_set", old=old, new=tuple(outs)))
 
     def fresh_name(self, stem: str) -> str:
         """Return a gate name starting with ``stem`` not yet in use."""
@@ -164,23 +187,28 @@ class Netlist:
             self._fanouts = table
         return self._fanouts
 
-    def event_fanouts(self) -> tuple[tuple[int, ...], ...]:
+    def event_fanouts(self) -> list[tuple[int, ...]]:
         """Per-signal *event* sinks: :meth:`fanouts` deduplicated and with
         DFF consumers removed.
 
         This is the edge list the event-driven simulator walks when a
         signal changes — a multi-pin consumer needs scheduling once, and
         DFF fanin is a sequential edge that combinational events never
-        cross.  Cached until the next mutation.
+        cross.  Cached until the next mutation (rows for edited signals
+        are recomputed in place by the journal patcher).
         """
         if self._event_fanouts is None:
-            gates = self.gates
-            self._event_fanouts = tuple(
-                tuple(dict.fromkeys(
-                    sink for sink in sinks
-                    if gates[sink].gtype is not GateType.DFF))
-                for sinks in self.fanouts())
+            self.fanouts()
+            self._event_fanouts = [
+                self._event_row(src) for src in range(len(self.gates))]
         return self._event_fanouts
+
+    def _event_row(self, src: int) -> tuple[int, ...]:
+        gates = self.gates
+        assert self._fanouts is not None
+        return tuple(dict.fromkeys(
+            sink for sink in self._fanouts[src]
+            if gates[sink].gtype is not GateType.DFF))
 
     def topo_order(self) -> list[int]:
         """Gate indices in topological (fanin-before-gate) order.
@@ -272,8 +300,8 @@ class Netlist:
     def fanout_cone(self, start: int) -> set[int]:
         """All gates whose value can depend on signal ``start`` (incl. it).
 
-        Cached (the same set object is returned until the next mutation);
-        treat the result as read-only.
+        Cached (the same set object is returned until a mutation touches
+        the cone); treat the result as read-only.
         """
         cone = self._cone_sets.get(start)
         if cone is None:
@@ -284,10 +312,10 @@ class Netlist:
     def sorted_cone(self, start: int) -> tuple[int, ...]:
         """Fanout cone of ``start`` as a topologically sorted tuple.
 
-        Cached per signal (and invalidated on every mutation) because
-        diagnosis warms up one cone per suspect line and then replays it
-        for every candidate correction at that line.  DFF fanin edges are
-        sequential, so cones never cross into a flip-flop.
+        Cached per signal (and invalidated when a mutation touches the
+        cone) because diagnosis warms up one cone per suspect line and
+        then replays it for every candidate correction at that line.  DFF
+        fanin edges are sequential, so cones never cross into a flip-flop.
         """
         cone = self._sorted_cones.get(start)
         if cone is None:
@@ -342,9 +370,211 @@ class Netlist:
         }
 
     # ------------------------------------------------------------------
+    # edit journal
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone edit counter.  Snapshot it, mutate, then feed it to
+        :meth:`edits_since` to learn what changed."""
+        return self._version
+
+    def edits_since(self, version: int) -> Optional[NetlistDelta]:
+        """Return the edits applied after ``version``, oldest first.
+
+        ``None`` means the journal cannot answer — the snapshot predates
+        a full invalidation or fell off the bounded journal — and the
+        caller must recompute its derived state from scratch.  An empty
+        delta (``version == self.version``) means nothing changed.
+        """
+        if version == self._version:
+            return NetlistDelta(())
+        if version < self._journal_base or version > self._version:
+            return None
+        return NetlistDelta(tuple(self._journal[version - self._journal_base:]))
+
+    def _record(self, edit: NetlistEdit) -> None:
+        """Journal one primitive edit (already applied to ``gates``) and
+        patch the structural caches in place."""
+        self._version += 1
+        self._journal.append(edit)
+        if len(self._journal) > JOURNAL_CAP:
+            drop = len(self._journal) // 2
+            del self._journal[:drop]
+            self._journal_base += drop
+        self._patch_caches(edit)
+
+    # ------------------------------------------------------------------
+    # cache patching (per journalled edit)
+    # ------------------------------------------------------------------
+    def _drop_cones_touching(self, srcs: set[int]) -> None:
+        """Drop cached cones whose membership may include an edited
+        signal (both the sorted tuples and the set views)."""
+        for start in list(self._sorted_cones):
+            if not srcs.isdisjoint(self._sorted_cones[start]):
+                del self._sorted_cones[start]
+                self._cone_sets.pop(start, None)
+        for start in list(self._cone_sets):
+            if not srcs.isdisjoint(self._cone_sets[start]):
+                del self._cone_sets[start]
+                self._sorted_cones.pop(start, None)
+
+    def _patch_topo_edge(self, src: int, sink: int) -> Optional[set[int]]:
+        """Pearce–Kelly rank repair for a new edge ``src -> sink`` that
+        violates the cached order (``pos[src] > pos[sink]``).
+
+        Returns the set of gates whose rank moved, or ``None`` when the
+        edge closes a combinational cycle — in that case the cached order
+        is dropped so the next :meth:`topo_order` raises lazily, matching
+        the from-scratch semantics.
+        """
+        assert self._topo is not None and self._topo_pos is not None
+        pos = self._topo_pos
+        if src == sink:
+            self._topo = self._topo_pos = self._levels = None
+            return None
+        lb, ub = pos[sink], pos[src]
+        gates = self.gates
+        fos = self.fanouts()
+        # Forward from sink inside the affected window; reaching src
+        # means the new edge closes a cycle.
+        delta_f = []
+        seen = {sink}
+        stack = [sink]
+        while stack:
+            node = stack.pop()
+            delta_f.append(node)
+            for nxt in fos[node]:
+                if nxt in seen or gates[nxt].gtype is GateType.DFF:
+                    continue
+                if nxt == src:
+                    self._topo = self._topo_pos = self._levels = None
+                    return None
+                if pos[nxt] <= ub:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        # Backward from src inside the window (fanin edges; a DFF's fanin
+        # is sequential, so the walk stops there).
+        delta_b = []
+        seen_b = {src}
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            delta_b.append(node)
+            gate = gates[node]
+            if gate.gtype is GateType.DFF:
+                continue
+            for prv in gate.fanin:
+                if prv not in seen_b and pos[prv] >= lb:
+                    seen_b.add(prv)
+                    stack.append(prv)
+        # Reassign the pooled slots: backward region first (it must now
+        # precede the forward region), each side keeping its old relative
+        # order.
+        delta_b.sort(key=pos.__getitem__)
+        delta_f.sort(key=pos.__getitem__)
+        movers = delta_b + delta_f
+        slots = sorted(pos[node] for node in movers)
+        topo = self._topo
+        for slot, node in zip(slots, movers):
+            topo[slot] = node
+            pos[node] = slot
+        return set(movers)
+
+    def _patch_caches(self, e: NetlistEdit) -> None:
+        """Repair the structural caches for one journalled edit.
+
+        Invariant: ``self.gates`` already reflects the edit, and compound
+        mutators interleave mutate/record per primitive change, so the
+        caches and the gate list agree at every call.
+        """
+        kind = e.kind
+        if kind == "outputs_set":
+            return  # no structural cache depends on the output list
+        self._sim_tables = None
+        if kind == "type_changed":
+            # Guarded to comb<->comb by the mutators: connectivity, ranks,
+            # cones, levels and fanouts are all type-independent then.
+            return
+        gates = self.gates
+        if kind == "gate_added":
+            idx = e.gate
+            gtype, fanin = e.new
+            if self._fanouts is not None:
+                self._fanouts.append([])
+                for src in fanin:
+                    self._fanouts[src].append(idx)
+                if self._event_fanouts is not None:
+                    self._event_fanouts.append(self._event_row(idx))
+                    for src in set(fanin):
+                        self._event_fanouts[src] = self._event_row(src)
+            else:
+                self._event_fanouts = None
+            if self._topo is not None:
+                if self._topo_pos is not None:
+                    self._topo_pos.append(len(self._topo))
+                self._topo.append(idx)
+            if self._levels is not None:
+                if gtype is GateType.DFF or not fanin:
+                    self._levels.append(0)
+                else:
+                    self._levels.append(
+                        1 + max(self._levels[src] for src in fanin))
+            if fanin and gtype is not GateType.DFF:
+                self._drop_cones_touching(set(fanin))
+            return
+        # pin edits
+        sink = e.gate
+        if kind == "pin_replaced":
+            old_srcs: tuple[int, ...] = (e.old,)
+            new_srcs: tuple[int, ...] = (e.new,)
+        elif kind == "pin_removed":
+            old_srcs, new_srcs = (e.old,), ()
+        else:  # pin_added
+            old_srcs, new_srcs = (), (e.new,)
+        if self._fanouts is not None:
+            for src in old_srcs:
+                self._fanouts[src].remove(sink)
+            for src in new_srcs:
+                self._fanouts[src].append(sink)
+            if self._event_fanouts is not None:
+                for src in set(old_srcs + new_srcs):
+                    self._event_fanouts[src] = self._event_row(src)
+        else:
+            self._event_fanouts = None
+        self._levels = None
+        moved: Optional[set[int]] = None
+        if self._topo is not None and new_srcs and \
+                gates[sink].gtype is not GateType.DFF:
+            if self._topo_pos is None:
+                pos = [0] * len(gates)
+                for rank, idx in enumerate(self._topo):
+                    pos[idx] = rank
+                self._topo_pos = pos
+            new_src = new_srcs[0]
+            if new_src == sink or self._topo_pos[new_src] > \
+                    self._topo_pos[sink]:
+                moved = self._patch_topo_edge(new_src, sink)
+        self._drop_cones_touching(set(old_srcs + new_srcs))
+        if moved:
+            # Rank-moved gates keep their cone membership but the cached
+            # sorted tuples are stale; the set views stay valid.
+            for start in list(self._sorted_cones):
+                if not moved.isdisjoint(self._sorted_cones[start]):
+                    del self._sorted_cones[start]
+
+    # ------------------------------------------------------------------
     # mutation (used by fault injection and corrections)
     # ------------------------------------------------------------------
     def _dirty(self) -> None:
+        """Full invalidation: drop every derived cache and reset the edit
+        journal, so snapshots taken before this point see ``None`` from
+        :meth:`edits_since` and recompute from scratch.
+
+        The fallback for edits the journal cannot describe (cut-type
+        changes, behind-the-API surgery in tests)."""
+        self._version += 1
+        self._journal.clear()
+        self._journal_base = self._version
         self._fanouts = None
         self._event_fanouts = None
         self._topo = None
@@ -356,32 +586,68 @@ class Netlist:
         self._facts = None
 
     def set_gate_type(self, index: int, gtype: GateType) -> None:
-        """Replace the function of gate ``index`` keeping its fanin."""
+        """Replace the function of gate ``index`` keeping its fanin.
+
+        A same-type call is a no-op (no cache invalidation, no journal
+        record)."""
         gate = self.gates[index]
+        if gate.gtype is gtype:
+            return
         if not arity_ok(gtype, len(gate.fanin)):
             raise NetlistError(
                 f"gate {gate.name!r}: cannot become {gtype.name} with "
                 f"{len(gate.fanin)} fanin(s)")
+        old = gate.gtype
         gate.gtype = gtype
-        self._dirty()
+        if old in _CUT_GTYPES or gtype in _CUT_GTYPES:
+            self._dirty()
+        else:
+            self._record(NetlistEdit("type_changed", gate=index,
+                                     old=old, new=gtype))
 
     def set_fanin(self, index: int, fanin: Sequence[int]) -> None:
-        """Rewire all fanin pins of gate ``index`` at once."""
+        """Rewire all fanin pins of gate ``index`` at once.
+
+        Decomposed into per-pin journal records (replace the common
+        prefix, then pop or append the tail); an identical fanin list is
+        a no-op."""
         gate = self.gates[index]
-        if not arity_ok(gate.gtype, len(fanin)):
+        new = list(fanin)
+        if not arity_ok(gate.gtype, len(new)):
             raise NetlistError(
                 f"gate {gate.name!r}: {gate.gtype.name} cannot take "
-                f"{len(fanin)} fanin(s)")
-        gate.fanin = list(fanin)
-        self._dirty()
+                f"{len(new)} fanin(s)")
+        if gate.fanin == new:
+            return
+        for pin in range(min(len(gate.fanin), len(new))):
+            if gate.fanin[pin] != new[pin]:
+                old_src = gate.fanin[pin]
+                gate.fanin[pin] = new[pin]
+                self._record(NetlistEdit("pin_replaced", gate=index, pin=pin,
+                                         old=old_src, new=new[pin]))
+        while len(gate.fanin) > len(new):
+            old_src = gate.fanin.pop()
+            self._record(NetlistEdit("pin_removed", gate=index,
+                                     pin=len(gate.fanin), old=old_src))
+        while len(gate.fanin) < len(new):
+            src = new[len(gate.fanin)]
+            gate.fanin.append(src)
+            self._record(NetlistEdit("pin_added", gate=index, new=src))
 
     def replace_fanin_pin(self, index: int, pin: int, new_src: int) -> None:
-        """Rewire a single fanin pin of gate ``index``."""
+        """Rewire a single fanin pin of gate ``index``.
+
+        Rewiring a pin to its current source is a no-op (no cache
+        invalidation, no journal record)."""
         gate = self.gates[index]
         if not 0 <= pin < len(gate.fanin):
             raise NetlistError(f"gate {gate.name!r}: no pin {pin}")
+        old_src = gate.fanin[pin]
+        if old_src == new_src:
+            return
         gate.fanin[pin] = new_src
-        self._dirty()
+        self._record(NetlistEdit("pin_replaced", gate=index, pin=pin,
+                                 old=old_src, new=new_src))
 
     def remove_fanin_pin(self, index: int, pin: int) -> None:
         """Drop one fanin pin (the "extra input wire" error/correction)."""
@@ -391,14 +657,22 @@ class Netlist:
                 f"gate {gate.name!r}: cannot drop pin of 1-input gate")
         if not 0 <= pin < len(gate.fanin):
             raise NetlistError(f"gate {gate.name!r}: no pin {pin}")
+        old_src = gate.fanin[pin]
         del gate.fanin[pin]
+        self._record(NetlistEdit("pin_removed", gate=index, pin=pin,
+                                 old=old_src))
         if len(gate.fanin) == 1 and gate.gtype in (
                 GateType.AND, GateType.OR, GateType.XOR):
+            old_type = gate.gtype
             gate.gtype = GateType.BUF
+            self._record(NetlistEdit("type_changed", gate=index,
+                                     old=old_type, new=GateType.BUF))
         elif len(gate.fanin) == 1 and gate.gtype in (
                 GateType.NAND, GateType.NOR, GateType.XNOR):
+            old_type = gate.gtype
             gate.gtype = GateType.NOT
-        self._dirty()
+            self._record(NetlistEdit("type_changed", gate=index,
+                                     old=old_type, new=GateType.NOT))
 
     def add_fanin_pin(self, index: int, new_src: int) -> None:
         """Append a fanin (the "missing input wire" error/correction)."""
@@ -406,14 +680,35 @@ class Netlist:
         if gate.gtype in SOURCE_TYPES:
             raise NetlistError(
                 f"gate {gate.name!r}: {gate.gtype.name} takes no fanin")
+        if gate.gtype is GateType.DFF:
+            raise NetlistError("cannot add fanin to a DFF")
         if gate.gtype is GateType.BUF:
             gate.gtype = GateType.AND  # promote; caller picks real type
+            self._record(NetlistEdit("type_changed", gate=index,
+                                     old=GateType.BUF, new=GateType.AND))
         elif gate.gtype is GateType.NOT:
             gate.gtype = GateType.NAND
-        elif gate.gtype is GateType.DFF:
-            raise NetlistError("cannot add fanin to a DFF")
+            self._record(NetlistEdit("type_changed", gate=index,
+                                     old=GateType.NOT, new=GateType.NAND))
         gate.fanin.append(new_src)
-        self._dirty()
+        self._record(NetlistEdit("pin_added", gate=index, new=new_src))
+
+    def _rewire_consumers(self, old_src: int, new_src: int,
+                          skip: int) -> None:
+        """Point every consumer pin (and PO slot) of ``old_src`` at
+        ``new_src``, journalling one ``pin_replaced`` per pin."""
+        for g in self.gates:
+            if g.index == skip:
+                continue
+            for pin, src in enumerate(g.fanin):
+                if src == old_src:
+                    g.fanin[pin] = new_src
+                    self._record(NetlistEdit(
+                        "pin_replaced", gate=g.index, pin=pin,
+                        old=old_src, new=new_src))
+        if old_src in self.outputs:
+            self.set_outputs(new_src if out == old_src else out
+                             for out in self.outputs)
 
     def insert_gate_on_stem(self, index: int, gtype: GateType,
                             name: str | None = None) -> int:
@@ -426,13 +721,7 @@ class Netlist:
         if name is None:
             name = self.fresh_name(f"{self.gates[index].name}_{gtype.name.lower()}")
         new_idx = self.add_gate(name, gtype, [index])
-        for g in self.gates:
-            if g.index == new_idx:
-                continue
-            g.fanin = [new_idx if src == index else src for src in g.fanin]
-        self.outputs = [new_idx if out == index else out
-                        for out in self.outputs]
-        self._dirty()
+        self._rewire_consumers(index, new_idx, skip=new_idx)
         return new_idx
 
     def insert_binary_on_stem(self, index: int, gtype: GateType,
@@ -448,13 +737,7 @@ class Netlist:
             name = self.fresh_name(
                 f"{self.gates[index].name}_{gtype.name.lower()}2")
         new_idx = self.add_gate(name, gtype, [index, other])
-        for g in self.gates:
-            if g.index == new_idx:
-                continue
-            g.fanin = [new_idx if src == index else src for src in g.fanin]
-        self.outputs = [new_idx if out == index else out
-                        for out in self.outputs]
-        self._dirty()
+        self._rewire_consumers(index, new_idx, skip=new_idx)
         return new_idx
 
     def insert_gate_on_branch(self, sink: int, pin: int, gtype: GateType,
@@ -468,24 +751,29 @@ class Netlist:
             name = self.fresh_name(
                 f"{self.gates[src].name}_{gtype.name.lower()}_b")
         new_idx = self.add_gate(name, gtype, [src])
-        self.gates[sink].fanin[pin] = new_idx
-        self._dirty()
+        self.replace_fanin_pin(sink, pin, new_idx)
         return new_idx
 
-    def bypass_gate(self, index: int) -> None:
-        """Make every consumer of ``index`` read its single fanin instead.
+    def bypass_gate(self, index: int,
+                    survivor_pin: int | None = None) -> None:
+        """Make every consumer of ``index`` read one fanin instead.
 
         Used to *remove* an inverter/buffer (the gate becomes detached).
+        Without ``survivor_pin`` the gate must be 1-input; with it, any
+        fanin of a wider gate may be elected the survivor (the
+        "extra gate" design-error repair).
         """
         gate = self.gates[index]
-        if len(gate.fanin) != 1:
-            raise NetlistError(
-                f"gate {gate.name!r}: can only bypass 1-input gates")
-        src = gate.fanin[0]
-        for g in self.gates:
-            g.fanin = [src if s == index else s for s in g.fanin]
-        self.outputs = [src if out == index else out for out in self.outputs]
-        self._dirty()
+        if survivor_pin is None:
+            if len(gate.fanin) != 1:
+                raise NetlistError(
+                    f"gate {gate.name!r}: can only bypass 1-input gates")
+            survivor_pin = 0
+        elif not 0 <= survivor_pin < len(gate.fanin):
+            raise NetlistError(f"gate {gate.name!r}: no pin "
+                               f"{survivor_pin}")
+        src = gate.fanin[survivor_pin]
+        self._rewire_consumers(index, src, skip=-1)
 
     def tie_stem_to_constant(self, index: int, value: int) -> int:
         """Force signal ``index`` to a constant for all consumers/POs.
@@ -495,13 +783,7 @@ class Netlist:
         gtype = GateType.CONST1 if value else GateType.CONST0
         name = self.fresh_name(f"{self.gates[index].name}_sa{int(bool(value))}")
         const_idx = self.add_gate(name, gtype)
-        for g in self.gates:
-            if g.index == const_idx:
-                continue
-            g.fanin = [const_idx if src == index else src for src in g.fanin]
-        self.outputs = [const_idx if out == index else out
-                        for out in self.outputs]
-        self._dirty()
+        self._rewire_consumers(index, const_idx, skip=const_idx)
         return const_idx
 
     def tie_branch_to_constant(self, sink: int, pin: int, value: int) -> int:
@@ -514,15 +796,16 @@ class Netlist:
         name = self.fresh_name(
             f"{self.gates[src].name}_sa{int(bool(value))}_b")
         const_idx = self.add_gate(name, gtype)
-        self.gates[sink].fanin[pin] = const_idx
-        self._dirty()
+        self.replace_fanin_pin(sink, pin, const_idx)
         return const_idx
 
     # ------------------------------------------------------------------
     # copying
     # ------------------------------------------------------------------
     def copy(self, name: str | None = None) -> "Netlist":
-        """Deep copy (indices preserved)."""
+        """Deep copy (indices preserved).  The copy starts at version 0
+        with an empty journal: snapshot 0, mutate, and ``edits_since(0)``
+        describes exactly the mutations applied to the copy."""
         dup = Netlist(name or self.name)
         dup.gates = [g.copy() for g in self.gates]
         dup.outputs = list(self.outputs)

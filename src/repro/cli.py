@@ -6,11 +6,13 @@ Subcommands::
     repro table2 [--scale S] [--trials N] ...
     repro ablation [--errors K] ...
     repro diagnose SPEC.bench IMPL.bench [--mode stuck-at|design-error]
-                   [--jobs N] [--worker-budget N]
+                   [--jobs N] [--worker-budget N] [--format json]
+                   [--no-incremental-facts]
     repro bench [--smoke] [--out BENCH_sim.json] [--check FILE]
     repro lint FILE [FILE...] [--format json] [--strict] [--deep]
                [--prove] [--seq] ...
     repro facts FILE [FILE...] [--format json] [--no-deep] [--seq]
+               [--stats]
     repro prove A.bench B.bench [--budget N]   # SAT equivalence check
     repro inject SPEC.bench OUT.bench (--faults K | --errors K) [--seed N]
     repro compare [--faults 1,2]     # engine vs SAT vs dictionary
@@ -126,6 +128,8 @@ def cmd_diagnose(args) -> int:
                              prove_dedup=args.prove_dedup,
                              jobs=args.jobs,
                              worker_budget=args.worker_budget,
+                             incremental_facts=not
+                             args.no_incremental_facts,
                              seed=args.seed)
     if mode is Mode.STUCK_AT:
         # Fault-model the good netlist against the faulty device.
@@ -133,8 +137,40 @@ def cmd_diagnose(args) -> int:
     else:
         engine = IncrementalDiagnoser(spec, impl, patterns, config)
     result = engine.run()
-    print(result.summary())
+    if args.format == "json":
+        print(json.dumps(_diagnose_json(result), indent=2))
+    else:
+        print(result.summary())
     return 0 if result.found else 1
+
+
+def _diagnose_json(result) -> dict:
+    """Machine-readable diagnose report (solutions + search counters)."""
+    stats = result.stats
+    return {
+        "found": result.found,
+        "num_vectors": result.num_vectors,
+        "initial_failing": result.initial_failing,
+        "solutions": [
+            {"corrections": sorted(r.signature for r in sol.records),
+             "aliases": list(sol.aliases)}
+            for sol in result.solutions],
+        "stats": {
+            "nodes": stats.nodes,
+            "rounds": stats.rounds,
+            "prescreen_dropped": stats.prescreen_dropped,
+            "facts_reused": stats.facts_reused,
+            "facts_recomputed": stats.facts_recomputed,
+            "delta_edits": stats.delta_edits,
+            "truncated": stats.truncated,
+            "truncation_causes": list(stats.truncation_causes),
+            "levels_tried": list(stats.levels_tried),
+            "diag_time_s": stats.diag_time,
+            "corr_time_s": stats.corr_time,
+            "apply_time_s": stats.apply_time,
+            "total_time_s": stats.total_time,
+        },
+    }
 
 
 def _load_any(path, lint=None):
@@ -187,8 +223,11 @@ def cmd_lint(args) -> int:
 def cmd_facts(args) -> int:
     """Dataflow facts digest.  Exit codes: 0 ok, 2 unreadable input."""
     from .analyze import netlist_facts
+    from .analyze.dataflow import FACTS_CACHE
     from .errors import ReproError
 
+    if args.stats:
+        FACTS_CACHE.reset()
     worst = 0
     digests = []
     for path in args.files:
@@ -201,7 +240,12 @@ def cmd_facts(args) -> int:
         digests.append(netlist_facts(netlist).summary(
             deep=not args.no_deep, seq=args.seq))
     if args.format == "json":
-        print(json.dumps(digests, indent=2))
+        if args.stats:
+            print(json.dumps({"digests": digests,
+                              "facts_cache": FACTS_CACHE.snapshot()},
+                             indent=2))
+        else:
+            print(json.dumps(digests, indent=2))
         return worst
     for digest in digests:
         print(f"{digest['netlist']}: {digest['gates']} gates")
@@ -237,6 +281,11 @@ def cmd_facts(args) -> int:
                 print(f"  induction constants: {pretty}")
             for group in sq["proven_classes"]:
                 print(f"  seq equivalent: {' == '.join(group)}")
+    if args.stats:
+        snap = FACTS_CACHE.snapshot()
+        print(f"facts cache: {snap['facts_reused']} reused, "
+              f"{snap['facts_recomputed']} recomputed, "
+              f"{snap['delta_edits']} delta edit(s) replayed")
     return worst
 
 
@@ -418,6 +467,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="SAT-equivalence-check surviving correction "
                         "candidates and collapse proven-equivalent "
                         "ones into one candidate with aliases")
+    p.add_argument("--no-incremental-facts", action="store_true",
+                   help="recompute each tree node's dataflow facts "
+                        "from scratch instead of warming them from "
+                        "the parent node via the edit journal "
+                        "(results are bit-identical either way)")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="json adds the search counters (nodes, "
+                        "facts_reused/facts_recomputed/delta_edits, "
+                        "truncation causes) to the solution list")
     p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser("lint",
@@ -462,6 +520,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also report sequential facts (reset fixpoint, "
                         "stuck registers, k-induction constants and "
                         "correspondence classes)")
+    p.add_argument("--stats", action="store_true",
+                   help="also report the facts-cache counters "
+                        "(bundles reused via delta repair vs "
+                        "recomputed, journal edits replayed)")
     p.set_defaults(func=cmd_facts)
 
     p = sub.add_parser("prove",

@@ -115,6 +115,16 @@ class DiagnosisConfig:
             dropped suspect is a proven per-vector no-op at every
             primary output; the screen is re-derived per tree node from
             the (cached) dataflow facts of that node's netlist.
+        incremental_facts: warm each child node's dataflow-facts bundle
+            from its parent's via the netlist edit journal
+            (:func:`repro.analyze.incremental.warm_facts`) instead of
+            recomputing the facts from scratch at the child's first
+            pre-screen.  Every repair is exact, so results are
+            bit-identical with the flag off — only
+            ``EngineStats.facts_reused`` / ``facts_recomputed`` /
+            ``delta_edits`` and the per-node facts cost change.  Only
+            meaningful while ``static_prescreen`` is on (nothing else
+            reads the facts per node).
         seq_prescreen: sequential variant of the pre-screen, used by
             :class:`~repro.diagnose.timeframe.TimeFrameDiagnoser`
             only: drop suspects whose driver is provably masked *from
@@ -168,6 +178,7 @@ class DiagnosisConfig:
     worker_budget: int | None = None
     max_rounds: int = 9
     static_prescreen: bool = True
+    incremental_facts: bool = True
     seq_prescreen: bool = False
     theorem1_safety: float = 1.0
     h3_exact: float = 0.0

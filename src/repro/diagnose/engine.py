@@ -54,7 +54,7 @@ from .pathtrace import derive_seed, marked_lines, path_trace_counts
 from .report import (CorrectionRecord, DiagnosisResult, EngineStats,
                      Solution, mark_truncated, sort_solutions)
 from .screening import prescreen_suspects, screen_verr, theorem1_bound
-from .tree import DecisionTree
+from .tree import DecisionTree, warm_child_facts
 
 
 class IncrementalDiagnoser:
@@ -437,6 +437,12 @@ class _ExactSearch:
                     new_keys, Solution(child_applied,
                                        child_state.netlist))
             elif len(child_applied) < self.target:
+                if (self.config.static_prescreen
+                        and self.config.incremental_facts):
+                    # The recursion is about to pre-screen this child:
+                    # warm its facts from the parent's before it does.
+                    warm_child_facts(state.netlist, child_state.netlist,
+                                     self.stats)
                 self.explore(child_state, child_applied, new_keys)
 
     def _check_budget(self) -> None:

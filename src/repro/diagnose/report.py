@@ -109,6 +109,9 @@ class EngineStats:
     #: Deterministic except "wall_s" (a measurement).
     shards: list = field(default_factory=list)
     prescreen_dropped: int = 0  # suspects removed by the static pre-screen
+    facts_reused: int = 0     # child facts bundles warmed from the parent's
+    facts_recomputed: int = 0  # child bundles that had to start from scratch
+    delta_edits: int = 0      # journal edits replayed by the warm repairs
     dedup_checked: int = 0    # candidate pairs equivalence-checked
     dedup_merged: int = 0     # proven-equivalent candidates collapsed
     dedup_unknown: int = 0    # checks that exhausted the conflict budget
@@ -128,6 +131,9 @@ class EngineStats:
                 self.truncation_causes.append(cause)
         self.shards.extend(other.shards)
         self.prescreen_dropped += other.prescreen_dropped
+        self.facts_reused += other.facts_reused
+        self.facts_recomputed += other.facts_recomputed
+        self.delta_edits += other.delta_edits
         self.dedup_checked += other.dedup_checked
         self.dedup_merged += other.dedup_merged
         self.dedup_unknown += other.dedup_unknown

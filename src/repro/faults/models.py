@@ -170,12 +170,7 @@ def apply_correction(netlist: Netlist, table: LineTable,
         gate = netlist.gates[driver]
         if not 0 <= corr.pin < len(gate.fanin):
             raise InjectionError(f"gate {gate.name!r}: no pin {corr.pin}")
-        survivor = gate.fanin[corr.pin]
-        for g in netlist.gates:
-            g.fanin = [survivor if s == driver else s for s in g.fanin]
-        netlist.outputs = [survivor if out == driver else out
-                           for out in netlist.outputs]
-        netlist._dirty()
+        netlist.bypass_gate(driver, survivor_pin=corr.pin)
         return
     if kind is CorrectionKind.INSERT_GATE:
         if corr.new_type is None or corr.other_signal is None:

@@ -21,62 +21,77 @@ class CnfBuilder:
     def new_var(self) -> int:
         return self.solver.new_var()
 
-    def add(self, clause) -> None:
+    def add(self, clause, activation: int | None = None) -> None:
+        """Add a clause; with ``activation`` the clause is *guarded* —
+        ``(clause OR NOT activation)`` — so it only constrains models
+        where the activation literal is assumed true, and asserting the
+        unit ``[-activation]`` later retires it permanently (the
+        incremental prover's append-only CNF patching)."""
+        if activation is not None:
+            clause = list(clause) + [-activation]
         self.solver.add_clause(clause)
 
     # ------------------------------------------------------------------
-    def constant(self, var: int, value: bool) -> None:
-        self.add([var if value else -var])
+    def constant(self, var: int, value: bool,
+                 activation: int | None = None) -> None:
+        self.add([var if value else -var], activation)
 
-    def equal(self, a: int, b: int) -> None:
-        self.add([-a, b])
-        self.add([a, -b])
+    def equal(self, a: int, b: int, activation: int | None = None) -> None:
+        self.add([-a, b], activation)
+        self.add([a, -b], activation)
 
-    def encode_gate(self, gtype: GateType, out: int,
-                    ins: list[int]) -> None:
-        """Tseitin encoding: ``out <-> gtype(ins)``."""
+    def encode_gate(self, gtype: GateType, out: int, ins: list[int],
+                    activation: int | None = None) -> None:
+        """Tseitin encoding: ``out <-> gtype(ins)``.
+
+        Every emitted clause — including the definitional clauses of the
+        XOR chain's fresh variables — carries the ``activation`` guard
+        when one is given, so retiring the guard detaches the whole gate
+        encoding at once.
+        """
         if gtype in (GateType.BUF, GateType.INPUT, GateType.DFF):
-            self.equal(out, ins[0])
+            self.equal(out, ins[0], activation)
             return
         if gtype is GateType.NOT:
-            self.equal(out, -ins[0])
+            self.equal(out, -ins[0], activation)
             return
         if gtype is GateType.CONST0:
-            self.constant(out, False)
+            self.constant(out, False, activation)
             return
         if gtype is GateType.CONST1:
-            self.constant(out, True)
+            self.constant(out, True, activation)
             return
         if gtype in (GateType.AND, GateType.NAND):
             y = out if gtype is GateType.AND else -out
             for i in ins:
-                self.add([-y, i])
-            self.add([y] + [-i for i in ins])
+                self.add([-y, i], activation)
+            self.add([y] + [-i for i in ins], activation)
             return
         if gtype in (GateType.OR, GateType.NOR):
             y = out if gtype is GateType.OR else -out
             for i in ins:
-                self.add([y, -i])
-            self.add([-y] + list(ins))
+                self.add([y, -i], activation)
+            self.add([-y] + list(ins), activation)
             return
         if gtype in (GateType.XOR, GateType.XNOR):
             acc = ins[0]
             for nxt in ins[1:]:
                 fresh = self.new_var()
-                self._xor2(fresh, acc, nxt)
+                self._xor2(fresh, acc, nxt, activation)
                 acc = fresh
             if gtype is GateType.XOR:
-                self.equal(out, acc)
+                self.equal(out, acc, activation)
             else:
-                self.equal(out, -acc)
+                self.equal(out, -acc, activation)
             return
         raise SimulationError(f"cannot encode gate type {gtype}")
 
-    def _xor2(self, y: int, a: int, b: int) -> None:
-        self.add([-y, a, b])
-        self.add([-y, -a, -b])
-        self.add([y, -a, b])
-        self.add([y, a, -b])
+    def _xor2(self, y: int, a: int, b: int,
+              activation: int | None = None) -> None:
+        self.add([-y, a, b], activation)
+        self.add([-y, -a, -b], activation)
+        self.add([y, -a, b], activation)
+        self.add([y, a, -b], activation)
 
     def mux(self, out: int, sel: int, when_true: int,
             when_false: int) -> None:

@@ -1,0 +1,375 @@
+"""Incremental fact repair == from-scratch recomputation, on every layer.
+
+The property: take a random netlist, materialize every section of its
+facts bundle, apply a random journalled edit, obtain the warm-repaired
+bundle through :func:`netlist_facts`, and compare it section by section
+against a bundle computed from scratch on the same (edited) netlist.
+Repeated over 100-edit sequences, including apply-then-revert sequences
+that must return the facts to their original state bit-for-bit.
+
+Class *ids* of the structural hash are representation, not fact — the
+warm numbering extends the base memo while a scratch numbering starts
+over — so equivalence-class sections are compared as partitions
+(duplicate groups, constant classes), never as raw literals.
+"""
+
+import random
+
+import pytest
+
+from repro.analyze.dataflow import NetlistFacts, netlist_facts
+from repro.analyze.incremental import warm_facts
+from repro.circuit import GateType, Netlist
+from repro.circuit.gatetypes import (MULTI_INPUT_TYPES, SOURCE_TYPES,
+                                     arity_ok)
+
+_COMB_MULTI = (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+               GateType.XOR, GateType.XNOR)
+_COMB_UNARY = (GateType.BUF, GateType.NOT)
+
+
+def random_netlist(seed: int, num_inputs: int = 5, num_gates: int = 26,
+                   num_dffs: int = 2) -> Netlist:
+    """Random acyclic netlist with constants and (optionally) DFFs."""
+    rng = random.Random(seed)
+    nl = Netlist(f"inc{seed}")
+    for i in range(num_inputs):
+        nl.add_input(f"pi{i}")
+    dffs_left = num_dffs
+    for g in range(num_gates):
+        pool = len(nl.gates)
+        roll = rng.random()
+        if roll < 0.05:
+            nl.add_gate(f"g{g}", rng.choice((GateType.CONST0,
+                                             GateType.CONST1)), [])
+        elif roll < 0.12 and dffs_left:
+            dffs_left -= 1
+            nl.add_gate(f"g{g}", GateType.DFF, [rng.randrange(pool)])
+        elif roll < 0.3:
+            nl.add_gate(f"g{g}", rng.choice(_COMB_UNARY),
+                        [rng.randrange(pool)])
+        else:
+            gtype = rng.choice(_COMB_MULTI)
+            n_in = rng.randint(2, min(3, pool))
+            nl.add_gate(f"g{g}", gtype,
+                        [rng.randrange(pool) for _ in range(n_in)])
+    fanouts = nl.fanouts()
+    sinks = [g.index for g in nl.gates
+             if not fanouts[g.index] and g.gtype is not GateType.INPUT]
+    nl.set_outputs(sinks or [len(nl.gates) - 1])
+    return nl
+
+
+# ----------------------------------------------------------------------
+# edit generation (acyclicity-preserving)
+# ----------------------------------------------------------------------
+def _safe_sources(nl: Netlist, sink: int):
+    """Sources that do not combinationally depend on ``sink``."""
+    cone = nl.fanout_cone(sink)
+    return [g.index for g in nl.gates if g.index not in cone]
+
+
+def _editable(nl: Netlist):
+    return [g.index for g in nl.gates
+            if g.gtype not in SOURCE_TYPES and g.gtype is not GateType.DFF]
+
+
+def apply_random_edit(rng: random.Random, nl: Netlist) -> bool:
+    """One random journalled mutation; True when something changed."""
+    choice = rng.random()
+    targets = _editable(nl)
+    if not targets:
+        return False
+    g = rng.choice(targets)
+    gate = nl.gates[g]
+    if choice < 0.25:
+        pool = _COMB_UNARY if len(gate.fanin) == 1 else _COMB_MULTI
+        nl.set_gate_type(g, rng.choice(pool))
+        return True
+    if choice < 0.5:
+        srcs = _safe_sources(nl, g)
+        if not srcs:
+            return False
+        nl.replace_fanin_pin(g, rng.randrange(len(gate.fanin)),
+                             rng.choice(srcs))
+        return True
+    if choice < 0.62:
+        if len(gate.fanin) < 2:
+            return False
+        nl.remove_fanin_pin(g, rng.randrange(len(gate.fanin)))
+        return True
+    if choice < 0.74:
+        if gate.gtype not in MULTI_INPUT_TYPES | {GateType.BUF,
+                                                  GateType.NOT}:
+            return False
+        srcs = _safe_sources(nl, g)
+        if not srcs:
+            return False
+        nl.add_fanin_pin(g, rng.choice(srcs))
+        return True
+    if choice < 0.82:
+        nl.insert_gate_on_branch(g, rng.randrange(len(gate.fanin)),
+                                 rng.choice(_COMB_UNARY))
+        return True
+    if choice < 0.9:
+        nl.tie_branch_to_constant(g, rng.randrange(len(gate.fanin)),
+                                  rng.randint(0, 1))
+        return True
+    if choice < 0.96:
+        outs = list(nl.outputs)
+        rng.shuffle(outs)
+        extra = rng.choice(targets)
+        if extra not in outs:
+            outs.append(extra)
+        nl.set_outputs(outs)
+        return True
+    if len(gate.fanin) == 1:
+        nl.bypass_gate(g)
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# section-by-section comparison
+# ----------------------------------------------------------------------
+def materialize(facts: NetlistFacts) -> None:
+    facts.constants()
+    facts.literals()
+    facts.implications()
+    facts._dom_bits()
+    for g in facts.netlist.gates[:6]:
+        facts.cone(g.index)
+    if facts.netlist.dffs():
+        facts.reset_fixpoint(0)
+
+
+def extract(facts: NetlistFacts) -> dict:
+    """Every fact the bundle derives, in representation-free form."""
+    imp = facts.implications()
+    out = {
+        "constants": dict(facts.constants()),
+        "implied": dict(imp.implied_constants),
+        "impossible": imp._impossible,
+        "reach": list(imp._reach),
+        "structural_constants": dict(facts.structural_constants()),
+        "duplicate_groups": facts.duplicate_groups(),
+        "observable": facts.observable_set(),
+        "dominators": list(facts._dom_bits()),
+        "blocked": facts.blocked_signals(),
+        "cones": {g.index: facts.cone(g.index)
+                  for g in facts.netlist.gates},
+    }
+    if facts.netlist.dffs():
+        fx = facts.reset_fixpoint(0)
+        out["reset"] = (fx.state, fx.values, fx.constants,
+                        fx.stuck_registers, fx.iterations)
+    return out
+
+
+def assert_facts_equal(warm: NetlistFacts, scratch: NetlistFacts,
+                       context: str) -> None:
+    got, want = extract(warm), extract(scratch)
+    for key in want:
+        assert got[key] == want[key], (
+            f"{context}: section {key!r} diverged\n"
+            f"warm:    {got[key]!r}\nscratch: {want[key]!r}")
+
+
+# ----------------------------------------------------------------------
+# the fuzz properties (CI smoke runs `-k fuzz`)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(6))
+def test_fuzz_incremental_equals_scratch_over_100_edits(seed):
+    rng = random.Random(1000 + seed)
+    nl = random_netlist(seed)
+    facts = netlist_facts(nl)
+    materialize(facts)
+    applied = 0
+    while applied < 100:
+        if not apply_random_edit(rng, nl):
+            continue
+        applied += 1
+        warm = netlist_facts(nl)
+        assert warm.version == nl.version
+        # the repair really ran: eager sections arrived materialized
+        assert warm._constants is not None
+        materialize(warm)
+        if applied % 10 == 0 or applied < 5:
+            assert_facts_equal(warm, NetlistFacts(nl),
+                               f"seed={seed} edit={applied}")
+        facts = warm
+    assert_facts_equal(facts, NetlistFacts(nl), f"seed={seed} final")
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_fuzz_apply_then_revert_restores_fact_state(seed):
+    rng = random.Random(2000 + seed)
+    nl = random_netlist(seed, num_dffs=2)
+    baseline = extract(netlist_facts(nl))
+    shape0 = [(g.gtype, list(g.fanin)) for g in nl.gates]
+    outs0 = list(nl.outputs)
+
+    # Invertible edit vocabulary: snapshot the touched gate, restore later.
+    undo = []
+    applied = 0
+    while applied < 100:
+        targets = _editable(nl)
+        g = rng.choice(targets)
+        gate = nl.gates[g]
+        snap = (g, gate.gtype, list(gate.fanin))
+        roll = rng.random()
+        if roll < 0.4:
+            pool = _COMB_UNARY if len(gate.fanin) == 1 else _COMB_MULTI
+            new_type = rng.choice(pool)
+            if new_type is gate.gtype:
+                continue
+            nl.set_gate_type(g, new_type)
+        elif roll < 0.75:
+            srcs = _safe_sources(nl, g)
+            if not srcs:
+                continue
+            pin = rng.randrange(len(gate.fanin))
+            if srcs == [gate.fanin[pin]]:
+                continue
+            nl.replace_fanin_pin(g, pin, rng.choice(srcs))
+        elif roll < 0.9 and len(gate.fanin) >= 2:
+            nl.remove_fanin_pin(g, rng.randrange(len(gate.fanin)))
+        else:
+            outs = list(nl.outputs)
+            rng.shuffle(outs)
+            snap = ("outputs", list(nl.outputs))
+            nl.set_outputs(outs)
+        undo.append(snap)
+        applied += 1
+        materialize(netlist_facts(nl))   # keep repairing warm state
+
+    for snap in reversed(undo):
+        if snap[0] == "outputs":
+            nl.set_outputs(snap[1])
+            continue
+        g, gtype, fanin = snap
+        if arity_ok(nl.gates[g].gtype, len(fanin)):
+            nl.set_fanin(g, fanin)
+            nl.set_gate_type(g, gtype)
+        else:
+            nl.set_gate_type(g, gtype)
+            nl.set_fanin(g, fanin)
+        materialize(netlist_facts(nl))
+
+    assert [(g.gtype, list(g.fanin)) for g in nl.gates] == shape0
+    assert nl.outputs == outs0
+    final = netlist_facts(nl)
+    assert final._constants is not None  # still on the warm path
+    got = extract(final)
+    assert got == baseline
+    assert_facts_equal(final, NetlistFacts(nl), f"seed={seed} reverted")
+
+
+def test_fuzz_sequential_reset_fixpoint_warm_start():
+    rng = random.Random(77)
+    nl = random_netlist(9, num_gates=30, num_dffs=4)
+    assert nl.dffs()
+    facts = netlist_facts(nl)
+    facts.reset_fixpoint(0)
+    facts.reset_fixpoint(1)  # two cached initial states
+    for step in range(40):
+        if not apply_random_edit(rng, nl):
+            continue
+        warm = netlist_facts(nl)
+        scratch = NetlistFacts(nl)
+        for init in (0, 1):
+            w, s = warm.reset_fixpoint(init), scratch.reset_fixpoint(init)
+            assert w.state == s.state, f"step={step} init={init}"
+            assert w.values == s.values, f"step={step} init={init}"
+            assert w.constants == s.constants
+            assert w.stuck_registers == s.stuck_registers
+            assert w.iterations == s.iterations, \
+                f"step={step} init={init}: warm iteration count diverged"
+        facts = warm
+
+
+# ----------------------------------------------------------------------
+# targeted section properties
+# ----------------------------------------------------------------------
+def test_warm_facts_does_not_mutate_base():
+    nl = random_netlist(3)
+    base = netlist_facts(nl)
+    materialize(base)
+    before = extract(base)
+    child = nl.copy()
+    v0 = child.version
+    child.set_gate_type(child.index_of("g5"),
+                        GateType.NOR if child.gate("g5").gtype
+                        is not GateType.NOR else GateType.NAND)
+    child.tie_branch_to_constant(
+        child.index_of("g9"), 0, 1) \
+        if len(child.gate("g9").fanin) else None
+    delta = child.edits_since(v0)
+    warm = warm_facts(child, base, delta)
+    assert warm is not base
+    assert extract(base) == before   # parent bundle untouched
+    assert_facts_equal(warm, NetlistFacts(child), "child repair")
+
+
+def test_warm_facts_sections_filter_limits_repair():
+    nl = random_netlist(4)
+    base = netlist_facts(nl)
+    materialize(base)
+    child = nl.copy()
+    child.set_gate_type(child.index_of("g7"),
+                        GateType.XOR if child.gate("g7").gtype
+                        is not GateType.XOR else GateType.XNOR)
+    delta = child.edits_since(0)
+    warm = warm_facts(child, base, delta,
+                      sections={"constants", "observable", "dominators",
+                                "cones"})
+    assert warm._constants is not None
+    assert warm._dominators is not None
+    assert warm._implications is None    # outside the filter: lazy
+    assert warm._literals is None
+    assert_facts_equal(warm, NetlistFacts(child), "filtered repair")
+
+
+def test_empty_delta_copies_sections():
+    nl = random_netlist(5)
+    base = netlist_facts(nl)
+    materialize(base)
+    delta = nl.edits_since(nl.version)
+    assert delta is not None and not delta
+    warm = warm_facts(nl, base, delta)
+    assert warm.constants() == base.constants()
+    assert warm.observable_set() is base.observable_set()
+
+
+def test_prover_survives_edits_and_answers_for_new_function():
+    nl = random_netlist(6, num_dffs=0)
+    facts = netlist_facts(nl)
+    prover = facts.prover(nvectors=16)
+    prover.sweep()
+    rng = random.Random(11)
+    for _ in range(10):
+        if not apply_random_edit(rng, nl):
+            continue
+        warm = netlist_facts(nl)
+        if warm._prover is None:
+            continue  # refresh refused (e.g. cyclic); rebuilt lazily
+        assert warm._prover is prover  # stolen, not rebuilt
+        from repro.analyze.prove import Prover
+        scratch = Prover(nl, facts=NetlistFacts(nl), nvectors=16)
+        assert warm.prover().sweep(force=True).classes \
+            == scratch.sweep().classes
+        assert {s: (c.value, c.proof != "")
+                for s, c in warm.prover().sweep().constants.items()} \
+            == {s: (c.value, c.proof != "")
+                for s, c in scratch.sweep().constants.items()}
+
+
+def test_version_mismatch_after_dirty_recomputes_scratch():
+    nl = random_netlist(7)
+    facts = netlist_facts(nl)
+    materialize(facts)
+    nl._dirty()
+    fresh = netlist_facts(nl)
+    assert fresh is not facts
+    assert fresh._constants is None      # scratch path: all lazy
+    assert_facts_equal(fresh, NetlistFacts(nl), "post-dirty")

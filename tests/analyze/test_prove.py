@@ -292,9 +292,20 @@ def test_facts_prover_cached_and_invalidated(c17):
     assert facts.prover() is prover            # cached
     facts.prover(conflict_budget=7)
     assert prover.conflict_budget == 7         # budget updatable
-    nl.set_gate_type(nl.index_of("22"), GateType.AND)  # mutation
-    fresh = netlist_facts(nl).prover()
-    assert fresh is not prover                 # _dirty dropped the CNF
+    gate = nl.index_of("22")
+    nl.set_gate_type(gate, GateType.AND)       # journalled mutation
+    refreshed = netlist_facts(nl).prover()
+    # The retirable CNF survives the edit (stale clauses retired by
+    # activation units) and answers for the *edited* function.
+    scratch = Prover(nl, facts=netlist_facts(nl))
+    for signal in (gate, nl.outputs[0]):
+        for value in (0, 1):
+            assert (refreshed.prove_constant(signal, value).status
+                    is scratch.prove_constant(signal, value).status)
+    assert (refreshed.sweep().classes
+            == Prover(nl, facts=netlist_facts(nl)).sweep().classes)
+    nl._dirty()                                # full invalidation
+    assert netlist_facts(nl).prover() is not refreshed
 
 
 def test_verdict_and_stats_serialize():

@@ -224,10 +224,10 @@ def test_facts_cache_and_invalidation(s27):
     assert facts.seq_prover() is prover
     facts.seq_prover(conflict_budget=123)
     assert prover.conflict_budget == 123
-    nl.set_gate_type(nl.index_of("G10"), GateType.NOR)  # calls _dirty
+    nl.set_gate_type(nl.index_of("G10"), GateType.NAND)  # journalled
     fresh = netlist_facts(nl)
     assert fresh is not facts
-    assert fresh.seq_prover(nvectors=8) is not prover
+    assert fresh.seq_prover(nvectors=8) is not prover  # never warmed
 
 
 # ----------------------------------------------------------------------

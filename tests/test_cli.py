@@ -342,3 +342,55 @@ def test_diagnose_prove_dedup_flag(tmp_path, capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "correction set" in out
+
+
+def test_facts_stats_counters(tmp_path, capsys):
+    import json as _json
+    path = tmp_path / "c.bench"
+    bench_io.dump(generators.c17(), path)
+    assert main(["facts", "--stats", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "facts cache:" in out
+    assert "recomputed" in out
+    assert main(["facts", "--stats", "--format", "json",
+                 str(path)]) == 0
+    payload = _json.loads(capsys.readouterr().out)
+    cache = payload["facts_cache"]
+    assert cache["facts_recomputed"] >= 1
+    assert set(cache) == {"facts_reused", "facts_recomputed",
+                          "delta_edits"}
+    # without --stats the JSON shape stays the plain digest list
+    assert main(["facts", "--format", "json", str(path)]) == 0
+    assert isinstance(_json.loads(capsys.readouterr().out), list)
+
+
+def test_diagnose_json_surfaces_facts_counters(tmp_path, capsys):
+    import json as _json
+    spec_path = tmp_path / "spec.bench"
+    impl_path = tmp_path / "impl.bench"
+    bench_io.dump(generators.ripple_carry_adder(4), spec_path)
+    assert main(["inject", str(spec_path), str(impl_path),
+                 "--faults", "2", "--seed", "3"]) == 0
+    capsys.readouterr()
+    rc = main(["diagnose", str(spec_path), str(impl_path),
+               "--mode", "stuck-at", "--vectors", "512",
+               "--max-errors", "2", "--format", "json"])
+    payload = _json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["found"]
+    stats = payload["stats"]
+    assert stats["facts_reused"] > 0
+    assert stats["delta_edits"] >= stats["facts_reused"]
+    assert stats["facts_recomputed"] >= 0
+    assert payload["solutions"][0]["corrections"]
+    # the opt-out recomputes per node but returns identical solutions
+    rc = main(["diagnose", str(spec_path), str(impl_path),
+               "--mode", "stuck-at", "--vectors", "512",
+               "--max-errors", "2", "--format", "json",
+               "--no-incremental-facts"])
+    scratch = _json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert scratch["solutions"] == payload["solutions"]
+    assert scratch["stats"]["nodes"] == stats["nodes"]
+    assert scratch["stats"]["facts_reused"] == 0
+    assert scratch["stats"]["delta_edits"] == 0
