@@ -1,0 +1,267 @@
+"""Static testability benchmarks (``BENCH_testability.json``).
+
+Two suites:
+
+* ``scoap`` — runtime and cost extremes of the SCOAP
+  controllability/observability fixed points plus the static
+  untestable-fault identification (:mod:`repro.analyze.testability`)
+  across the generator circuits.
+* ``podem`` — a planted hard-fault workload.  Each base circuit gets
+  function-preserving redundancy gadgets ``OR(stem, AND(u, NOT u))``
+  with ``u = XOR(x1..x6)`` over fresh inputs: the gadget output is
+  constant 0, its stuck-at-0 is statically untestable (exciting it
+  needs ``u=1`` and ``u=0`` at once), and proving that by search costs
+  an unguided PODEM a walk over the 6-input XOR cone.  The suite runs
+  :func:`repro.tgen.deterministic_patterns_with_stats` guided
+  (SCOAP-costed backtrace + static untestable pre-check) and unguided
+  over the identical fault list and demands strictly fewer total
+  backtracks, no new aborts, and at least one zero-search static
+  classification.  Every statically-untestable verdict is cross-checked
+  by SAT: tying the line to its stuck value must leave the circuit
+  provably equivalent (:func:`repro.analyze.prove_equivalent` PROVEN).
+
+The schema check enforces structure and the guidance/soundness
+invariants, never timings; the committed payload is regenerated on a
+quiet machine.  Run as a script
+(``python benchmarks/bench_testability.py [--smoke]``) it regenerates
+``BENCH_testability.json``; under pytest it validates the smoke payload
+end to end.
+"""
+
+import random
+import time
+
+from conftest import SCALE
+from repro.analyze.dataflow import netlist_facts
+from repro.analyze.prove import prove_equivalent
+from repro.analyze.testability import INF
+from repro.circuit import GateType, Netlist, generators
+from repro.circuit.lines import LineTable
+from repro.faults.models import apply_correction, stuck_at_correction
+from repro.tgen import deterministic_patterns_with_stats
+
+SCOAP_CIRCUITS = ("c17", "rca8", "alu4", "c432")
+SMOKE_SCOAP_CIRCUITS = ("c17", "rca8")
+PODEM_CIRCUITS = (("c17", 3), ("rca8", 3))
+SMOKE_PODEM_CIRCUITS = (("c17", 1),)
+SCHEMA = "repro.bench_testability/1"
+GADGET_WIDTH = 6
+BACKTRACK_LIMIT = 120
+
+
+def build_circuit(name: str) -> Netlist:
+    if name == "alu4":
+        return generators.alu(4)
+    if name == "rca8":
+        return generators.ripple_carry_adder(8)
+    if name == "c432":
+        return generators.by_name("r432", scale=SCALE)
+    return generators.by_name(name, scale=SCALE)
+
+
+def plant_gadget(nl: Netlist, stem: int, tag: str) -> int:
+    """OR a fresh constant-0 redundancy onto ``stem``; returns its root.
+
+    The root ``g = AND(u, NOT u)`` is identically 0, so
+    ``OR(stem, g) == stem`` and the circuit function is preserved —
+    but ``g`` stuck-at-0 is a redundancy whose untestability an
+    unguided PODEM can only establish by exhausting the XOR cone.
+    """
+    u = nl.add_input(nl.fresh_name(f"{tag}_x0"))
+    for i in range(1, GADGET_WIDTH):
+        x = nl.add_input(nl.fresh_name(f"{tag}_x{i}"))
+        u = nl.add_gate(nl.fresh_name(f"{tag}_u{i}"), GateType.XOR,
+                        [u, x])
+    nu = nl.add_gate(nl.fresh_name(f"{tag}_nu"), GateType.NOT, [u])
+    g = nl.add_gate(nl.fresh_name(f"{tag}_g"), GateType.AND, [u, nu])
+    nl.insert_binary_on_stem(stem, GateType.OR, g,
+                             name=nl.fresh_name(f"{tag}_or"))
+    return g
+
+
+def plant_workload(name: str, gadgets: int, seed: int = 11) -> Netlist:
+    nl = build_circuit(name)
+    rng = random.Random(seed)
+    live = nl.live_set()
+    stems = [g.index for g in nl.gates
+             if g.index in live and g.gtype not in
+             (GateType.CONST0, GateType.CONST1, GateType.DFF)]
+    for k, stem in enumerate(rng.sample(stems, gadgets)):
+        plant_gadget(nl, stem, f"gdt{k}")
+    nl.name = f"{name}+{gadgets}gdt"
+    return nl
+
+
+def scoap_record(name: str) -> dict:
+    nl = build_circuit(name)
+    t0 = time.perf_counter()
+    facts = netlist_facts(nl)
+    tb = facts.testability()
+    costs = facts.scoap()
+    scoap_s = time.perf_counter() - t0
+    finite_cc = [c for pair in costs.pairs() for c in pair if c < INF]
+    finite_co = [c for c in costs.co if c < INF]
+    return {
+        "suite": "scoap", "circuit": nl.name, "gates": len(nl.gates),
+        "scoap_s": scoap_s,
+        "max_cc": max(finite_cc, default=0),
+        "max_co": max(finite_co, default=0),
+        "fault_sites": len(tb.sites),
+        "static_untestable": len(tb.untestable),
+    }
+
+
+def sat_confirm(nl: Netlist) -> tuple:
+    """SAT-check every statically-untestable stuck-at on ``nl``.
+
+    Tying the faulty line to its stuck value must be a no-op; returns
+    ``(checked, confirmed)`` PROVEN counts.
+    """
+    table = LineTable(nl)
+    keys = sorted(netlist_facts(nl).testability()
+                  .untestable_line_keys(table))
+    confirmed = 0
+    for line, value in keys:
+        tied = nl.copy()
+        apply_correction(tied, LineTable(tied),
+                         stuck_at_correction(table, line, value))
+        verdict = prove_equivalent(nl, tied)
+        if verdict.status.name == "PROVEN":
+            confirmed += 1
+    return len(keys), confirmed
+
+
+def podem_record(name: str, gadgets: int, seed: int = 11) -> dict:
+    nl = plant_workload(name, gadgets, seed)
+    runs = {}
+    for mode, guide in (("guided", True), ("unguided", False)):
+        t0 = time.perf_counter()
+        _, stats = deterministic_patterns_with_stats(
+            nl.copy(), seed=0, backtrack_limit=BACKTRACK_LIMIT,
+            guide=guide)
+        runs[mode] = stats.to_dict()
+        runs[mode]["tgen_s"] = time.perf_counter() - t0
+    checked, confirmed = sat_confirm(nl)
+    return {
+        "suite": "podem", "circuit": nl.name, "gates": len(nl.gates),
+        "gadgets": gadgets, "backtrack_limit": BACKTRACK_LIMIT,
+        "guided": runs["guided"], "unguided": runs["unguided"],
+        "sat_checked": checked, "sat_confirmed": confirmed,
+    }
+
+
+def run_suites(smoke: bool = False) -> dict:
+    scoap_names = SMOKE_SCOAP_CIRCUITS if smoke else SCOAP_CIRCUITS
+    podem_specs = SMOKE_PODEM_CIRCUITS if smoke else PODEM_CIRCUITS
+    records = [scoap_record(name) for name in scoap_names]
+    records += [podem_record(name, gadgets)
+                for name, gadgets in podem_specs]
+    return {"schema": SCHEMA, "smoke": smoke, "records": records}
+
+
+def validate_payload(payload: dict) -> list:
+    errors = []
+    if payload.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA}")
+    records = payload.get("records", ())
+    if not records:
+        errors.append("no records")
+    zero_search = 0
+    for record in records:
+        suite = record.get("suite")
+        circuit = record.get("circuit")
+        if suite == "scoap":
+            for key in ("circuit", "gates", "scoap_s", "max_cc",
+                        "max_co", "fault_sites", "static_untestable"):
+                if key not in record:
+                    errors.append(f"scoap/{circuit}: missing {key}")
+            continue
+        if suite != "podem":
+            errors.append(f"unknown suite {suite!r}")
+            continue
+        for key in ("circuit", "gates", "gadgets", "guided", "unguided",
+                    "sat_checked", "sat_confirmed"):
+            if key not in record:
+                errors.append(f"podem/{circuit}: missing {key}")
+        guided = record.get("guided", {})
+        unguided = record.get("unguided", {})
+        if guided.get("faults") != unguided.get("faults"):
+            errors.append(f"podem/{circuit}: guided and unguided ran "
+                          "different fault lists")
+        if not guided.get("backtracks", 0) < unguided.get("backtracks", 0):
+            errors.append(f"podem/{circuit}: guidance must strictly "
+                          "reduce total backtracks")
+        if guided.get("aborted", 0) > unguided.get("aborted", 0):
+            errors.append(f"podem/{circuit}: guidance introduced aborts")
+        if record.get("sat_confirmed") != record.get("sat_checked"):
+            errors.append(f"podem/{circuit}: a statically-untestable "
+                          "verdict failed its SAT cross-check")
+        if record.get("sat_checked", 0) < record.get("gadgets", 0):
+            errors.append(f"podem/{circuit}: every planted redundancy "
+                          "must be statically identified")
+        zero_search += guided.get("static_untestable", 0)
+    if records and not zero_search:
+        errors.append("no record classified a fault untestable with "
+                      "zero search")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_bench_payload_schema():
+    payload = run_suites(smoke=True)
+    assert validate_payload(payload) == []
+    for record in payload["records"]:
+        if record["suite"] != "podem":
+            continue
+        # the planted redundancy is found without a single backtrack
+        assert record["guided"]["static_untestable"] >= record["gadgets"]
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="regenerate BENCH_testability.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced circuits/gadgets for CI")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing payload and exit")
+    parser.add_argument("--out", default="BENCH_testability.json")
+    args = parser.parse_args(argv)
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            errors = validate_payload(json.load(fh))
+        for err in errors:
+            print(f"schema: {err}")
+        print(f"{args.check}: {'FAIL' if errors else 'ok'}")
+        return 2 if errors else 0
+    payload = run_suites(smoke=args.smoke)
+    errors = validate_payload(payload)
+    if errors:
+        for err in errors:
+            print(f"schema: {err}")
+        return 2
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for record in payload["records"]:
+        if record["suite"] == "scoap":
+            print(f"{record['circuit']:>12}: scoap {record['scoap_s']*1e3:.1f}ms "
+                  f"max cc {record['max_cc']} co {record['max_co']} "
+                  f"untestable {record['static_untestable']}")
+        else:
+            g, u = record["guided"], record["unguided"]
+            print(f"{record['circuit']:>12}: backtracks "
+                  f"{g['backtracks']} guided vs {u['backtracks']} "
+                  f"unguided, aborts {g['aborted']} vs {u['aborted']}, "
+                  f"{g['static_untestable']} static skips, "
+                  f"SAT {record['sat_confirmed']}/{record['sat_checked']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

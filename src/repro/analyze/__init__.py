@@ -50,11 +50,14 @@ from .report import LintReport
 from .seq import (ResetFixpoint, SeqConstant, SeqProver, SeqStats,
                   SeqSweepResult, SeqTrace, SeqVerdict, replay_trace,
                   reset_fixpoint, seq_masked_signals)
+from .testability import (ScoapCosts, SiteTestability, Testability,
+                          UntestableFault, derive_testability, scoap_costs)
 
 # Importing the rule modules registers the built-in rules.
 from . import rules_structural, rules_semantic, rules_deep  # noqa: E402,F401
 from . import rules_prove  # noqa: E402,F401
 from . import rules_seq  # noqa: E402,F401
+from . import rules_testability  # noqa: E402,F401
 
 __all__ = [
     "AnalysisContext", "DEFAULT_REGISTRY", "Diagnostic", "Rule",
@@ -70,5 +73,7 @@ __all__ = [
     "ResetFixpoint", "SeqConstant", "SeqProver", "SeqStats",
     "SeqSweepResult", "SeqTrace", "SeqVerdict", "replay_trace",
     "reset_fixpoint", "seq_masked_signals",
+    "ScoapCosts", "SiteTestability", "Testability", "UntestableFault",
+    "derive_testability", "scoap_costs",
     "LintReport",
 ]

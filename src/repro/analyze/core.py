@@ -85,6 +85,10 @@ class AnalysisContext:
         #: Per-query conflict budget for the ``seq`` rule group
         #: (None = the engine default); set by the lint driver.
         self.seq_budget: int | None = None
+        #: SCOAP alarm thresholds for the ``testability`` rule group
+        #: (None = the rules' defaults); set by the lint driver.
+        self.cc_threshold: int | None = None
+        self.co_threshold: int | None = None
         self._fanouts: list[list[int]] | None = None
         self._live: set[int] | None = None
 

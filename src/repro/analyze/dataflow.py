@@ -455,6 +455,10 @@ class Implications:
         self._reach = self._close()
         self._impossible = self._find_impossible(constants)
         self.implied_constants = self._implied_constants()
+        #: Literal nodes whose reachability set the last delta repair
+        #: recomputed (``None`` for a scratch build) — lets downstream
+        #: repairs (testability verdicts) re-derive only what moved.
+        self.repair_affected: Optional[frozenset] = None
 
     # -- construction --------------------------------------------------
     def _edge(self, u: int, w: int) -> None:
@@ -679,6 +683,8 @@ class NetlistFacts:
         self._dominators: Optional[List[Optional[int]]] = None
         self._cones: Dict[int, frozenset] = {}
         self._blocked: Dict[bool, frozenset] = {}
+        self._scoap: Optional[object] = None
+        self._testability: Optional[object] = None
         self._prover: Optional[object] = None
         self._seq_prover: Optional[object] = None
         self._reset: Dict[tuple, object] = {}
@@ -893,6 +899,32 @@ class NetlistFacts:
         self._blocked[key] = result
         return result
 
+    # -- testability ----------------------------------------------------
+    def scoap(self):
+        """SCOAP CC0/CC1/CO cost vectors for this snapshot.
+
+        Computed by the saturating min-plus lattices of
+        :mod:`repro.analyze.testability` on this engine (cycle-safe);
+        cached and delta-repaired like every other section.
+        """
+        if self._scoap is None:
+            from .testability import scoap_costs
+            self._scoap = scoap_costs(self.netlist)
+        return self._scoap
+
+    def testability(self):
+        """Static untestable-fault identification for this snapshot.
+
+        Requirement-literal records per fault site plus the set of
+        statically-proven untestable stuck-at faults (see
+        :mod:`repro.analyze.testability`).  Forces the implication
+        closure on first use.
+        """
+        if self._testability is None:
+            from .testability import derive_testability
+            self._testability = derive_testability(self)
+        return self._testability
+
     # -- proofs ---------------------------------------------------------
     def prover(self, conflict_budget: Optional[int] = None,
                nvectors: Optional[int] = None, seed: int = 0):
@@ -975,7 +1007,8 @@ class NetlistFacts:
         return self._seq_prover
 
     # -- reporting ------------------------------------------------------
-    def summary(self, deep: bool = True, seq: bool = False) -> dict:
+    def summary(self, deep: bool = True, seq: bool = False,
+                testability: bool = False) -> dict:
         """Deterministic JSON-ready digest (the ``repro facts`` CLI)."""
         names = [g.name for g in self.netlist.gates]
         consts = self.constants()
@@ -1004,6 +1037,22 @@ class NetlistFacts:
         }
         if deep:
             out["implications"] = self.implications().edge_count()
+        if testability:
+            from .testability import INF, describe_site
+            sc = self.scoap()
+            tb = self.testability()
+            finite_cc = [max(c0, c1) for c0, c1 in zip(sc.cc0, sc.cc1)
+                         if max(c0, c1) < INF]
+            finite_co = [c for c in sc.co if c < INF]
+            out["testability"] = {
+                "max_cc": max(finite_cc, default=0),
+                "max_co": max(finite_co, default=0),
+                "untestable_faults": sorted(
+                    f"{describe_site(self.netlist, site)}/sa{value}: "
+                    f"{verdict.reason}"
+                    for (site, value), verdict in tb.untestable.items()
+                    if site[1] in live),
+            }
         if seq and self.netlist.dffs():
             fx = self.reset_fixpoint()
             result = self.seq_prover().sweep()

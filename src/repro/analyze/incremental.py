@@ -76,7 +76,7 @@ __all__ = ["warm_facts", "ALL_SECTIONS"]
 #: Repairable bundle sections, in dependency order.
 ALL_SECTIONS = frozenset([
     "constants", "literals", "implications", "observable", "dominators",
-    "cones", "reset", "prover",
+    "cones", "scoap", "testability", "reset", "prover",
 ])
 
 
@@ -263,6 +263,7 @@ def _repair_implications(netlist: Netlist, base_imp: Implications,
     imp._reach = reach
     imp._impossible = imp._find_impossible(constants)
     imp.implied_constants = imp._implied_constants()
+    imp.repair_affected = frozenset(affected) if changed else frozenset()
     return imp
 
 
@@ -436,6 +437,99 @@ def warm_facts(netlist: Netlist, base: NetlistFacts, delta,
                     blocked.add(i)
                     break
         fresh._blocked[key] = frozenset(blocked)
+
+    # -- SCOAP cost lattices -------------------------------------------
+    # Controllability is a plain forward analysis: the edit region is
+    # exactly the fanout cones of the touched gates.  Observability
+    # additionally depends on (a) who consumes a signal (sources), (b)
+    # the output list, and (c) the CC costs of the consumers' *side*
+    # pins — so the backward seeds are the sources, the output diff,
+    # the fanins of every touched gate (its pin set or side costs per
+    # type changed) and the fanins of every consumer of a CC-changed
+    # signal (their side sums moved).  Everything outside the backward
+    # cone of those seeds reads only unchanged values.
+    if base._scoap is not None and "scoap" in want:
+        from .testability import (INF, ScoapCosts, _Controllability,
+                                  _Observability)
+        old_sc = base._scoap
+        # New gates start at the lattice top: a new gate outside the
+        # repair region has no consumers and is no output (anything
+        # else would have seeded it in), so top is its true fixpoint.
+        cc: list = [(old_sc.cc0[i], old_sc.cc1[i])
+                    if i < len(old_sc.cc0) else (INF, INF)
+                    for i in range(n)]
+        _solve_region(netlist, _Controllability(), cc, fwd_region())
+        cc_changed = {i for i in range(n)
+                      if i >= len(old_sc.cc0)
+                      or cc[i] != (old_sc.cc0[i], old_sc.cc1[i])}
+        co: list = [old_sc.co[i] if i < len(old_sc.co) else INF
+                    for i in range(n)]
+        seeds = set(sources)
+        outs_before = delta.outputs_before()
+        if outs_before is not None:
+            seeds |= set(outs_before) ^ set(netlist.outputs)
+        for g in touched:
+            seeds.update(netlist.gates[g].fanin)
+        if cc_changed:
+            fanouts = netlist.fanouts()
+            for s in cc_changed:
+                for consumer in fanouts[s]:
+                    seeds.update(netlist.gates[consumer].fanin)
+        _solve_region(netlist, _Observability(netlist, cc), co,
+                      _backward_region(netlist, seeds))
+        fresh._scoap = ScoapCosts(tuple(c[0] for c in cc),
+                                  tuple(c[1] for c in cc), tuple(co))
+
+    # -- static testability --------------------------------------------
+    # A site record reads its head's dominators/cone/ODC conditions,
+    # the sink's pins (branch sites) and the global DFF-feed frontier —
+    # all of which can only change for heads inside the dominator
+    # repair region (same argument as the ODC verdicts: every witness,
+    # including a DFF-feed flip, is seeded from touched/sources and the
+    # region is the backward cone of the seeds).  New sites always
+    # re-derive (an added gate is touched; a new branch pin's sink is
+    # touched or its driver a source — either way inside the region).
+    # A verdict outside the region can still flip when the implication
+    # closure moved under it: re-derive when any requirement literal's
+    # reach row was recomputed (``repair_affected``) or its impossible
+    # bit flipped; copy the base verdict everywhere else.
+    if base._testability is not None and "testability" in want \
+            and fresh._implications is not None \
+            and base._implications is not None and dom_region is not None:
+        from .testability import (Testability, derive_site, dff_feed_set,
+                                  fault_sites, fault_verdict)
+        imp = fresh._implications
+        changed_nodes = imp.repair_affected or frozenset()
+        flipped_bits = imp._impossible ^ base._implications._impossible
+        dff_feed = dff_feed_set(netlist)
+        base_tb = base._testability
+        sites: Dict[tuple, object] = {}
+        untestable: Dict[tuple, object] = {}
+        for site in fault_sites(netlist):
+            base_rec = base_tb.sites.get(site)
+            structural = base_rec is None or site[1] in dom_region
+            rec = (derive_site(fresh, site, dff_feed) if structural
+                   else base_rec)
+            sites[site] = rec
+            redo = structural
+            if not redo:
+                for reqs in rec.requirements:
+                    for r in reqs:
+                        node = 2 * r.signal + r.value
+                        if node in changed_nodes \
+                                or (flipped_bits >> node) & 1:
+                            redo = True
+                            break
+                    if redo:
+                        break
+            for value in (0, 1):
+                if redo:
+                    verdict = fault_verdict(imp, rec, value)
+                else:
+                    verdict = base_tb.untestable.get((site, value))
+                if verdict is not None:
+                    untestable[(site, value)] = verdict
+        fresh._testability = Testability(sites, untestable)
 
     # -- reset fixpoints -----------------------------------------------
     if base._reset and "reset" in want:

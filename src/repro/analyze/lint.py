@@ -33,8 +33,11 @@ from .report import LintReport
 #: Rule-group execution order; later groups require earlier ones clean.
 #: ``deep`` (dataflow-backed rules) is opt-in via ``deep=True``;
 #: ``prove`` (SAT-backed rules) via ``prove=True``; ``seq``
-#: (sequential fixpoint + k-induction rules) via ``seq=True``.
-GROUP_ORDER = ("structural", "semantic", "deep", "prove", "seq")
+#: (sequential fixpoint + k-induction rules) via ``seq=True``;
+#: ``testability`` (SCOAP costs + static untestable faults) via
+#: ``testability=True``.
+GROUP_ORDER = ("structural", "semantic", "deep", "prove", "seq",
+               "testability")
 
 #: Groups run when the caller does not ask for anything special.
 DEFAULT_GROUPS = ("structural", "semantic")
@@ -69,7 +72,10 @@ def lint_netlist(netlist: Netlist,
                  prove: bool = False,
                  prove_budget: int | None = None,
                  seq: bool = False,
-                 seq_budget: int | None = None) -> LintReport:
+                 seq_budget: int | None = None,
+                 testability: bool = False,
+                 cc_threshold: int | None = None,
+                 co_threshold: int | None = None) -> LintReport:
     """Run every (non-suppressed) rule and collect the findings.
 
     Args:
@@ -100,12 +106,22 @@ def lint_netlist(netlist: Netlist,
         seq_budget: per-query conflict budget for the seq group
             (default: the engine's
             :data:`~repro.analyze.seq.DEFAULT_SEQ_BUDGET`).
+        testability: also run the ``testability`` group (SCOAP
+            controllability/observability cost outliers and the static
+            untestable-fault identification of
+            :mod:`repro.analyze.testability`).  Costs the implication
+            closure plus two min-plus fixed points, hence opt-in.
+        cc_threshold: SCOAP controllability alarm threshold (default:
+            :data:`~repro.analyze.rules_testability.DEFAULT_CC_THRESHOLD`).
+        co_threshold: SCOAP observability alarm threshold (default:
+            :data:`~repro.analyze.rules_testability.DEFAULT_CO_THRESHOLD`).
     """
     registry = registry or DEFAULT_REGISTRY
     suppressed = list(suppress)
     for rule_id in suppressed:
         registry.get(rule_id)  # raises KeyError on unknown ids
-    opted = {"deep": deep, "prove": prove, "seq": seq}
+    opted = {"deep": deep, "prove": prove, "seq": seq,
+             "testability": testability}
     if groups is not None:
         wanted = tuple(groups)
         unknown = sorted(set(wanted) - set(GROUP_ORDER))
@@ -123,6 +139,8 @@ def lint_netlist(netlist: Netlist,
     ctx = AnalysisContext(netlist)
     ctx.prove_budget = prove_budget
     ctx.seq_budget = seq_budget
+    ctx.cc_threshold = cc_threshold
+    ctx.co_threshold = co_threshold
     for position, group in enumerate(GROUP_ORDER):
         if group not in wanted:
             continue

@@ -1,0 +1,121 @@
+"""Testability rules: SCOAP cost outliers and untestable faults.
+
+These consume the testability sections of
+:class:`~repro.analyze.dataflow.NetlistFacts` — the SCOAP CC0/CC1/CO
+cost vectors and the static untestable-fault identification of
+:mod:`repro.analyze.testability` — and run only under ``repro lint
+--testability`` (or ``lint_netlist(testability=True)``), after every
+earlier group is error-free.
+
+* ``hard-to-control-line`` / ``hard-to-observe-line`` — cost outliers
+  above a threshold (:attr:`AnalysisContext.cc_threshold` /
+  :attr:`~AnalysisContext.co_threshold`, default
+  :data:`DEFAULT_CC_THRESHOLD` / :data:`DEFAULT_CO_THRESHOLD`).
+  Unachievable (:data:`~repro.analyze.testability.INF`) costs are the
+  business of ``const-line`` and ``unobservable-line`` and are skipped
+  here.
+* ``untestable-fault`` — every statically-proven untestable stuck-at
+  on a live site, with the proof provenance (impossible requirement
+  literal, conflicting requirement pair, or unobservable site) spelled
+  out.  Untestable stuck-ats are redundancies: the same objects the
+  SAT-backed ``prove`` group hunts, found here without a single solver
+  call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..circuit.gatetypes import SOURCE_TYPES
+from .core import AnalysisContext, DEFAULT_REGISTRY, Diagnostic, Severity
+from .testability import INF, describe_site
+
+_rule = DEFAULT_REGISTRY.rule
+
+#: Default controllability alarm threshold (max of CC0/CC1).
+DEFAULT_CC_THRESHOLD = 64
+#: Default observability alarm threshold.
+DEFAULT_CO_THRESHOLD = 64
+
+
+@_rule("hard-to-control-line", "testability", Severity.INFO,
+       "no live line needs more than the threshold SCOAP cost to set "
+       "to either value")
+def check_hard_to_control(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    facts = ctx.facts()
+    costs = facts.scoap()
+    live = ctx.live()
+    threshold = (ctx.cc_threshold if ctx.cc_threshold is not None
+                 else DEFAULT_CC_THRESHOLD)
+    for gate in ctx.netlist.gates:
+        i = gate.index
+        if i not in live or gate.gtype in SOURCE_TYPES:
+            continue
+        worst = max(costs.cc0[i], costs.cc1[i])
+        if worst < INF and worst > threshold:
+            hard = 0 if costs.cc0[i] >= costs.cc1[i] else 1
+            yield Diagnostic(
+                "hard-to-control-line", Severity.INFO,
+                f"line {gate.name!r} needs SCOAP cost {worst} to justify "
+                f"value {hard} (cc0={costs.cc0[i]}, cc1={costs.cc1[i]}, "
+                f"threshold {threshold}); deterministic tests through it "
+                f"will be expensive",
+                gate=gate.name,
+                data={"cc0": costs.cc0[i], "cc1": costs.cc1[i],
+                      "threshold": threshold})
+
+
+@_rule("hard-to-observe-line", "testability", Severity.INFO,
+       "no live line needs more than the threshold SCOAP cost to "
+       "propagate to an output")
+def check_hard_to_observe(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    facts = ctx.facts()
+    costs = facts.scoap()
+    live = ctx.live()
+    threshold = (ctx.co_threshold if ctx.co_threshold is not None
+                 else DEFAULT_CO_THRESHOLD)
+    for gate in ctx.netlist.gates:
+        i = gate.index
+        co = costs.co[i]
+        if i not in live or co >= INF or co <= threshold:
+            continue
+        yield Diagnostic(
+            "hard-to-observe-line", Severity.INFO,
+            f"line {gate.name!r} needs SCOAP cost {co} to propagate a "
+            f"change to a primary output (threshold {threshold}); "
+            f"faults there resist detection",
+            gate=gate.name, data={"co": co, "threshold": threshold})
+
+
+@_rule("untestable-fault", "testability", Severity.WARNING,
+       "no stuck-at fault on a live line is statically untestable "
+       "(implication-proven redundancy)")
+def check_untestable_fault(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    facts = ctx.facts()
+    live = ctx.live()
+    names = [g.name for g in ctx.netlist.gates]
+    for (site, value), verdict in sorted(
+            facts.testability().untestable.items()):
+        rec = facts.testability().sites[site]
+        if rec.head not in live or rec.driver not in live:
+            continue  # dead logic has its own rules
+        where = describe_site(ctx.netlist, site)
+        witness = ", ".join(f"{names[s]}={v}" for s, v in verdict.witness)
+        detail = {
+            "unobservable":
+                "the site reaches no primary output",
+            "impossible-requirement":
+                f"required literal {witness} holds in no consistent "
+                f"assignment",
+            "conflicting-requirements":
+                f"required literals {witness} statically contradict",
+        }[verdict.reason]
+        yield Diagnostic(
+            "untestable-fault", Severity.WARNING,
+            f"stuck-at-{value} on {where} is statically untestable: "
+            f"{detail}; the fault is a redundancy and every test set "
+            f"misses it",
+            gate=names[rec.head],
+            data={"site": where, "value": value,
+                  "reason": verdict.reason,
+                  "witness": [[names[s], v] for s, v in verdict.witness]})

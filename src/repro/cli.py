@@ -207,7 +207,10 @@ def cmd_lint(args) -> int:
                                   deep=args.deep, prove=args.prove,
                                   prove_budget=args.prove_budget,
                                   seq=args.seq,
-                                  seq_budget=args.seq_budget)
+                                  seq_budget=args.seq_budget,
+                                  testability=args.testability,
+                                  cc_threshold=args.cc_threshold,
+                                  co_threshold=args.co_threshold)
         except KeyError as exc:
             sys.exit(f"repro lint: {exc.args[0]}")
         if args.format == "json":
@@ -238,7 +241,8 @@ def cmd_facts(args) -> int:
             worst = 2
             continue
         digests.append(netlist_facts(netlist).summary(
-            deep=not args.no_deep, seq=args.seq))
+            deep=not args.no_deep, seq=args.seq,
+            testability=args.testability))
     if args.format == "json":
         if args.stats:
             print(json.dumps({"digests": digests,
@@ -281,6 +285,12 @@ def cmd_facts(args) -> int:
                 print(f"  induction constants: {pretty}")
             for group in sq["proven_classes"]:
                 print(f"  seq equivalent: {' == '.join(group)}")
+        if "testability" in digest:
+            tb = digest["testability"]
+            print(f"  scoap: max cc {tb['max_cc']}, "
+                  f"max co {tb['max_co']}")
+            for fault in tb["untestable_faults"]:
+                print(f"  untestable: {fault}")
     if args.stats:
         snap = FACTS_CACHE.snapshot()
         print(f"facts cache: {snap['facts_reused']} reused, "
@@ -367,6 +377,51 @@ def cmd_inject(args) -> int:
         print(f"injected {record.kind} at {record.site} {record.detail}")
     print(f"wrote {args.out}")
     return 0
+
+
+def cmd_tgen(args) -> int:
+    """Deterministic test generation with PODEM effort accounting.
+
+    Exit codes: 0 ok (aborts allowed — they are reported, not fatal),
+    2 unreadable input.
+    """
+    from .errors import ReproError
+    from .tgen import deterministic_patterns_with_stats
+
+    worst = 0
+    payloads = []
+    for path in args.files:
+        try:
+            netlist = _load_any(path, lint="off")
+        except (ReproError, OSError) as exc:
+            print(f"{path}: error: {exc}", file=sys.stderr)
+            worst = 2
+            continue
+        if not netlist.is_combinational:
+            netlist = full_scan(netlist)[0]
+        pats, stats = deterministic_patterns_with_stats(
+            netlist, seed=args.seed,
+            backtrack_limit=args.backtrack_limit,
+            compact=not args.no_compact,
+            guide=not args.no_guide)
+        if args.format == "json":
+            payload = stats.to_dict()
+            payload["netlist"] = netlist.name
+            payloads.append(payload)
+            continue
+        mode = "guided" if stats.guided else "unguided"
+        print(f"{netlist.name}: {stats.vectors} vector(s) for "
+              f"{stats.targeted}/{stats.faults} collapsed fault(s) "
+              f"({mode} PODEM)")
+        print(f"  generated {stats.generated}, "
+              f"untestable {stats.untestable} "
+              f"({stats.static_untestable} statically, no search), "
+              f"aborted {stats.aborted}")
+        print(f"  effort: {stats.backtracks} backtrack(s), "
+              f"{stats.implications} implication pass(es)")
+    if args.format == "json":
+        print(json.dumps(payloads, indent=2))
+    return worst
 
 
 def cmd_bench(args) -> int:
@@ -504,6 +559,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "sequential equivalences)")
     p.add_argument("--seq-budget", type=int, default=None,
                    help="per-query conflict budget for --seq")
+    p.add_argument("--testability", action="store_true",
+                   help="also run the testability rules (SCOAP cost "
+                        "outliers, statically untestable stuck-at "
+                        "faults with provenance)")
+    p.add_argument("--cc-threshold", type=int, default=None,
+                   help="SCOAP controllability alarm threshold for "
+                        "--testability (default 64)")
+    p.add_argument("--co-threshold", type=int, default=None,
+                   help="SCOAP observability alarm threshold for "
+                        "--testability (default 64)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule table and exit")
     p.set_defaults(func=cmd_lint)
@@ -520,6 +585,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also report sequential facts (reset fixpoint, "
                         "stuck registers, k-induction constants and "
                         "correspondence classes)")
+    p.add_argument("--testability", action="store_true",
+                   help="also report SCOAP cost extremes and "
+                        "statically untestable stuck-at faults")
     p.add_argument("--stats", action="store_true",
                    help="also report the facts-cache counters "
                         "(bundles reused via delta repair vs "
@@ -550,6 +618,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--signals", default="",
                    help="comma-separated signal names (default: PIs+POs)")
     p.set_defaults(func=cmd_vcd)
+
+    p = sub.add_parser("tgen",
+                       help="deterministic PODEM test generation with "
+                            "effort accounting")
+    p.add_argument("files", nargs="+",
+                   help=".bench or .v netlist files (sequential "
+                        "netlists are full-scanned first)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backtrack-limit", type=int, default=120,
+                   help="per-fault PODEM backtrack budget (default 120)")
+    p.add_argument("--no-guide", action="store_true",
+                   help="disable SCOAP cost guidance and the static "
+                        "untestable-fault pre-check")
+    p.add_argument("--no-compact", action="store_true",
+                   help="skip reverse-order fault-simulation "
+                        "compaction of the vector set")
+    p.set_defaults(func=cmd_tgen)
 
     p = sub.add_parser("bench",
                        help="simulation-kernel benchmarks "

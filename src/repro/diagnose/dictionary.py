@@ -57,7 +57,8 @@ class FaultDictionary:
 
     def __init__(self, netlist: Netlist, patterns: PatternSet,
                  full_response: bool = True,
-                 faults: list | None = None):
+                 faults: list | None = None,
+                 static_skip: bool = True):
         self.netlist = netlist
         self.patterns = patterns
         self.full_response = full_response
@@ -65,8 +66,21 @@ class FaultDictionary:
         fsim = FaultSimulator(netlist, patterns, self.table)
         self._good_out = fsim.good_outputs
         self._signatures: dict = {}
+        #: Faults dropped without simulation because the implication
+        #: bundle proves them untestable (zero detection mask under any
+        #: vector set — behaviourally identical to the popcount filter
+        #: below, minus the fault-simulation cost).
+        self.statically_skipped = 0
+        skip: frozenset = frozenset()
+        if static_skip:
+            from ..analyze.dataflow import netlist_facts
+            skip = frozenset(netlist_facts(netlist).testability()
+                             .untestable_line_keys(self.table))
         for fault in (faults if faults is not None
                       else all_faults(self.table)):
+            if (fault.line, fault.value) in skip:
+                self.statically_skipped += 1
+                continue
             mask = fsim.detection_mask(fault)
             if popcount(mask) == 0:
                 continue  # undetectable: never a candidate

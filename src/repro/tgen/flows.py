@@ -9,6 +9,7 @@ vectors from [3] along with 6,000-10,000 random vectors").
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass, field
 
 from ..circuit.lines import LineTable
 from ..circuit.netlist import Netlist
@@ -16,27 +17,81 @@ from ..faults.collapse import collapsed_faults
 from ..sim.faultsim import FaultSimulator
 from ..sim.packing import PatternSet
 from .compaction import reverse_order_compact
-from .podem import Podem, fill_assignment
+from .podem import Podem, PodemStats, fill_assignment
 from .randgen import patterns_from_vectors, random_patterns
 
 
-def deterministic_patterns(netlist: Netlist, seed: int = 0,
-                           backtrack_limit: int = 120,
-                           compact: bool = True) -> PatternSet:
-    """PODEM test set for the collapsed stuck-at fault list.
+@dataclass
+class TgenStats:
+    """Aggregated :class:`~repro.tgen.podem.PodemStats` over one flow.
+
+    ``targeted`` counts the faults PODEM actually searched for (fault
+    dropping removes the rest); ``untestable`` every fault proven
+    untestable, of which ``static_untestable`` were rejected by the
+    static pre-check with zero search; ``aborted`` the faults
+    abandoned at the backtrack limit.
+    """
+
+    faults: int = 0
+    targeted: int = 0
+    generated: int = 0
+    untestable: int = 0
+    static_untestable: int = 0
+    aborted: int = 0
+    backtracks: int = 0
+    implications: int = 0
+    vectors: int = 0
+    guided: bool = field(default=False)
+
+    def record(self, stats: PodemStats, found: bool) -> None:
+        self.targeted += 1
+        self.backtracks += stats.backtracks
+        self.implications += stats.implications
+        if found:
+            self.generated += 1
+        elif stats.static_untestable:
+            self.static_untestable += 1
+            self.untestable += 1
+        elif stats.aborted:
+            self.aborted += 1
+        else:
+            self.untestable += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "faults": self.faults, "targeted": self.targeted,
+            "generated": self.generated, "untestable": self.untestable,
+            "static_untestable": self.static_untestable,
+            "aborted": self.aborted, "backtracks": self.backtracks,
+            "implications": self.implications, "vectors": self.vectors,
+            "guided": self.guided,
+        }
+
+
+def deterministic_patterns_with_stats(
+        netlist: Netlist, seed: int = 0, backtrack_limit: int = 120,
+        compact: bool = True,
+        guide: bool = False) -> tuple[PatternSet, TgenStats]:
+    """PODEM test set plus the aggregated search statistics.
 
     Faults already detected by earlier vectors are dropped by fault
     simulation before being targeted (standard fault-dropping flow).
+    ``guide=True`` turns on static testability guidance: statically
+    untestable faults are skipped with zero search and the remaining
+    searches follow SCOAP costs (see :class:`~repro.tgen.podem.Podem`).
     """
     table = LineTable(netlist)
     faults = collapsed_faults(netlist, table)
-    podem = Podem(netlist, table, backtrack_limit=backtrack_limit)
+    podem = Podem(netlist, table, backtrack_limit=backtrack_limit,
+                  guide=guide or None)
     rng = random.Random(seed)
+    agg = TgenStats(faults=len(faults), guided=bool(guide))
     vectors: list[list[int]] = []
     undetected = list(faults)
     while undetected:
         fault = undetected.pop()
         assignment, stats = podem.generate(fault)
+        agg.record(stats, assignment is not None)
         if assignment is None:
             continue  # untestable or aborted
         vectors.append(fill_assignment(netlist, assignment, rng))
@@ -45,10 +100,27 @@ def deterministic_patterns(netlist: Netlist, seed: int = 0,
         fsim = FaultSimulator(netlist, pats, table)
         undetected = [f for f in undetected if not fsim.detects(f)]
     if not vectors:
-        return patterns_from_vectors(netlist, [])
+        agg.vectors = 0
+        return patterns_from_vectors(netlist, []), agg
     pats = patterns_from_vectors(netlist, vectors)
     if compact and pats.nbits > 1:
         pats = reverse_order_compact(netlist, pats, faults)
+    agg.vectors = pats.nbits
+    return pats, agg
+
+
+def deterministic_patterns(netlist: Netlist, seed: int = 0,
+                           backtrack_limit: int = 120,
+                           compact: bool = True,
+                           guide: bool = False) -> PatternSet:
+    """PODEM test set for the collapsed stuck-at fault list.
+
+    Thin wrapper over :func:`deterministic_patterns_with_stats` for
+    callers that only want the vectors.
+    """
+    pats, _stats = deterministic_patterns_with_stats(
+        netlist, seed=seed, backtrack_limit=backtrack_limit,
+        compact=compact, guide=guide)
     return pats
 
 

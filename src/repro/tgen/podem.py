@@ -88,16 +88,35 @@ class PodemStats:
     backtracks: int = 0
     implications: int = 0
     aborted: bool = False
+    #: True when the fault was rejected by the static pre-check (zero
+    #: search: no implication, no backtrack).
+    static_untestable: bool = False
 
 
 class Podem:
     """PODEM test generator for stuck-at faults on one netlist.
 
     The netlist must be combinational (full-scan models qualify).
+
+    ``guide`` opts into static-analysis guidance: pass a
+    :class:`~repro.analyze.dataflow.NetlistFacts` bundle (or ``True``
+    to fetch the netlist's own cached bundle).  Guidance adds
+
+    * SCOAP-cost-driven choices — the D-frontier is tried easiest-to-
+      observe first, objectives pick the cheapest input to justify,
+      and backtrace descends through the cost-appropriate X fanin
+      (hardest-first for all-inputs-needed objectives, cheapest-first
+      for any-input ones: the classic SCOAP heuristics); and
+    * a pre-check that answers statically-proven untestable faults
+      immediately (``stats.static_untestable``) without any search.
+
+    Guidance never changes which faults are testable — only the order
+    the same search space is explored, and the skip of faults proven
+    untestable by a sound static argument.
     """
 
     def __init__(self, netlist: Netlist, table: LineTable | None = None,
-                 backtrack_limit: int = 250):
+                 backtrack_limit: int = 250, guide=None):
         if not netlist.is_combinational:
             raise SimulationError(
                 "PODEM needs a combinational netlist; full-scan it first")
@@ -106,6 +125,22 @@ class Podem:
         self.backtrack_limit = backtrack_limit
         self._order = netlist.topo_order()
         self._pis = netlist.inputs
+        self.guided = bool(guide)
+        self._cc0: tuple | None = None
+        self._cc1: tuple | None = None
+        self._co: tuple | None = None
+        self._static_untestable: set = set()
+        if guide:
+            if guide is True:
+                from ..analyze.dataflow import netlist_facts
+                facts = netlist_facts(netlist)
+            else:
+                facts = guide
+            costs = facts.scoap()
+            self._cc0, self._cc1, self._co = (costs.cc0, costs.cc1,
+                                              costs.co)
+            self._static_untestable = (
+                facts.testability().untestable_line_keys(self.table))
 
     # ------------------------------------------------------------------
     def generate(self, fault: SimFault
@@ -118,6 +153,9 @@ class Podem:
         """
         line = self.table[fault.line]
         stats = PodemStats()
+        if (fault.line, fault.value) in self._static_untestable:
+            stats.static_untestable = True
+            return None, stats
         pi_values: dict[int, int] = {}
         decisions: list[tuple[int, int, bool]] = []  # (pi, value, flipped)
 
@@ -207,13 +245,32 @@ class Podem:
             return (line.driver, 1 - fault.value)
         # Fault excited: pick an X-output gate with a D on some input.
         frontier = self._d_frontier(good, faulty, fault, line)
+        if self.guided and self._co is not None:
+            frontier.sort(key=lambda idx: (self._co[idx], idx))
         for gate_idx in frontier:
             gate = self.netlist.gates[gate_idx]
             ctrl = controlling_value(gate.gtype)
-            want = 1 - ctrl if ctrl is not None else 1
-            for src in gate.fanin:
-                if good[src] == X:
-                    return (src, want)
+            xs = [src for src in gate.fanin if good[src] == X]
+            if not xs:
+                continue
+            if ctrl is not None:
+                want = 1 - ctrl
+                if self.guided:
+                    # every X side pin must go non-controlling; aim the
+                    # cheapest one first
+                    cost = self._cc1 if want == 1 else self._cc0
+                    return (min(xs, key=lambda s: (cost[s], s)), want)
+                return (xs[0], want)
+            # XOR-like: any defined value propagates — free choice,
+            # cheapest side when guided (the old hard-coded 1 remains
+            # the unguided default).
+            if self.guided:
+                src = min(xs,
+                          key=lambda s: (min(self._cc0[s], self._cc1[s]),
+                                         s))
+                want = 0 if self._cc0[src] <= self._cc1[src] else 1
+                return (src, want)
+            return (xs[0], 1)
         return None
 
     def _d_frontier(self, good, faulty, fault: SimFault,
@@ -241,10 +298,22 @@ class Podem:
 
     def _backtrace(self, signal: int, value: int,
                    good) -> tuple[int | None, int]:
-        """Map an objective to an unassigned-PI assignment."""
+        """Map an objective to an unassigned-PI assignment.
+
+        Walks driver-ward one X fanin at a time until a free primary
+        input is reached.  A visited set guards against revisiting a
+        signal (impossible on the acyclic netlists ``__init__``
+        enforces, but a structural guard beats a magic iteration
+        bound).  XOR parity is computed per *pin*: duplicate pins of
+        one signal each contribute, and the chosen pin's value is
+        forced only when it is the last X pin — otherwise the value is
+        a free choice (cost-guided when guidance is on).
+        """
         gates = self.netlist.gates
         current, want = signal, value
-        for _ in range(4 * len(gates) + 8):
+        visited = set()
+        while current not in visited:
+            visited.add(current)
             gate = gates[current]
             if gate.gtype is GateType.INPUT:
                 if good[current] == X:
@@ -255,21 +324,53 @@ class Podem:
             if gate.gtype in (GateType.NOT, GateType.NAND, GateType.NOR,
                               GateType.XNOR):
                 want = 1 - want
-            # choose an X input; prefer one that can set the objective
-            x_inputs = [src for src in gate.fanin if good[src] == X]
-            if not x_inputs:
+            x_pins = [pin for pin, src in enumerate(gate.fanin)
+                      if good[src] == X]
+            if not x_pins:
                 return None, 0
-            current = x_inputs[0]
+            pin = self._choose_pin(gate, want, x_pins)
+            nxt = gate.fanin[pin]
             if gate.gtype in (GateType.XOR, GateType.XNOR):
-                # parity: desired value on the chosen input given others
-                others = [good[src] for src in gate.fanin
-                          if src != current]
                 acc = 0
-                for v in others:
-                    if v != X:
-                        acc ^= v
-                want = want ^ acc
+                for p, src in enumerate(gate.fanin):
+                    if p != pin and good[src] != X:
+                        acc ^= good[src]
+                if len(x_pins) == 1:
+                    want = want ^ acc  # last X pin: value is forced
+                elif self.guided:
+                    want = 0 if self._cc0[nxt] <= self._cc1[nxt] else 1
+                else:
+                    want = want ^ acc
+            current = nxt
         return None, 0
+
+    def _choose_pin(self, gate, want: int, x_pins: list[int]) -> int:
+        """The X pin to descend through (SCOAP heuristics when guided).
+
+        ``want`` is the post-inversion core value.  All-inputs-needed
+        objectives (AND-core 1, OR-core 0, any XOR) descend the
+        *hardest* input first — failing fast on the bottleneck; any-
+        single-input objectives descend the *easiest*.
+        """
+        if not self.guided or len(x_pins) == 1:
+            return x_pins[0]
+        cc0, cc1 = self._cc0, self._cc1
+        gt = gate.gtype
+        if gt in (GateType.AND, GateType.NAND):
+            if want == 1:
+                return max(x_pins,
+                           key=lambda p: (cc1[gate.fanin[p]], -p))
+            return min(x_pins, key=lambda p: (cc0[gate.fanin[p]], p))
+        if gt in (GateType.OR, GateType.NOR):
+            if want == 0:
+                return max(x_pins,
+                           key=lambda p: (cc0[gate.fanin[p]], -p))
+            return min(x_pins, key=lambda p: (cc1[gate.fanin[p]], p))
+        if gt in (GateType.XOR, GateType.XNOR):
+            return max(x_pins,
+                       key=lambda p: (min(cc0[gate.fanin[p]],
+                                          cc1[gate.fanin[p]]), -p))
+        return x_pins[0]
 
 
 def fill_assignment(netlist: Netlist, assignment: dict,

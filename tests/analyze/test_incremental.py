@@ -137,6 +137,8 @@ def materialize(facts: NetlistFacts) -> None:
     facts.literals()
     facts.implications()
     facts._dom_bits()
+    facts.scoap()
+    facts.testability()
     for g in facts.netlist.gates[:6]:
         facts.cone(g.index)
     if facts.netlist.dffs():
@@ -158,6 +160,11 @@ def extract(facts: NetlistFacts) -> dict:
         "blocked": facts.blocked_signals(),
         "cones": {g.index: facts.cone(g.index)
                   for g in facts.netlist.gates},
+        "scoap": (facts.scoap().cc0, facts.scoap().cc1,
+                  facts.scoap().co),
+        "sites": {site: (rec.observable, rec.escape, rec.requirements)
+                  for site, rec in facts.testability().sites.items()},
+        "untestable": facts.testability().untestable,
     }
     if facts.netlist.dffs():
         fx = facts.reset_fixpoint(0)

@@ -33,7 +33,8 @@ def broken():
 
 def test_registry_has_all_groups():
     groups = {rule.group for rule in DEFAULT_REGISTRY}
-    assert groups == {"structural", "semantic", "deep", "prove", "seq"}
+    assert groups == {"structural", "semantic", "deep", "prove", "seq",
+                      "testability"}
     assert len(DEFAULT_REGISTRY) >= 15
 
 

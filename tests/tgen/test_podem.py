@@ -92,3 +92,99 @@ def test_backtrack_limit_aborts():
     hard = [f for f in all_faults(table)][50]
     assignment, stats = podem.generate(hard)
     assert assignment is None or stats.backtracks == 0
+
+
+def test_backtrace_terminates_on_duplicate_pin_xor():
+    """XOR(a, a) == 0: justifying 1 must exhaust cleanly, not loop.
+
+    The backtrace walk is guarded by a visited set (not a step budget);
+    a gate reading the same signal on every pin is the densest cycle
+    of revisits it can meet.
+    """
+    nl = Netlist("dup")
+    a = nl.add_input("a")
+    x = nl.add_gate("x", GateType.XOR, [a, a])
+    out = nl.add_gate("out", GateType.OR, [x, a])
+    nl.set_outputs([out])
+    table = LineTable(nl)
+    podem = Podem(nl, table)
+    fault = SimFault(table.stem(x).index, 0)  # needs x=1: impossible
+    assignment, stats = podem.generate(fault)
+    assert assignment is None
+    assert not stats.aborted  # proven untestable by exhaustion
+
+
+@pytest.mark.parametrize("guide", [False, True])
+def test_xor_multiple_x_fanins_generate_and_detect(guide):
+    """3-input XOR: several X fanins at once, every fault testable.
+
+    Pins the fix for the old backtrace that pretended the remaining X
+    inputs of an XOR would land at 0 when computing the forced parity.
+    """
+    nl = Netlist("xor3")
+    a, b, c = (nl.add_input(n) for n in "abc")
+    x = nl.add_gate("x", GateType.XOR, [a, b, c])
+    nl.set_outputs([x])
+    table = LineTable(nl)
+    podem = Podem(nl, table, guide=guide)
+    for fault in collapsed_faults(nl, table):
+        assignment, stats = podem.generate(fault)
+        assert assignment is not None, \
+            f"{table.describe(fault.line)}/sa{fault.value}"
+        vector = fill_assignment(nl, assignment)
+        patterns = patterns_from_vectors(nl, [vector])
+        assert FaultSimulator(nl, patterns, table).detects(fault)
+
+
+@pytest.mark.parametrize("guide", [False, True])
+def test_forced_parity_with_duplicate_pins(guide):
+    """XOR(a, b, b) == a: the forced value for the last X pin must be
+    computed over *pins*, not deduplicated signals."""
+    nl = Netlist("dup_parity")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    x = nl.add_gate("x", GateType.XOR, [a, b, b])
+    nl.set_outputs([x])
+    table = LineTable(nl)
+    podem = Podem(nl, table, guide=guide)
+    for fault in collapsed_faults(nl, table):
+        assignment, stats = podem.generate(fault)
+        if assignment is None:
+            assert not stats.aborted  # b-faults are genuinely untestable
+            continue
+        vector = fill_assignment(nl, assignment)
+        patterns = patterns_from_vectors(nl, [vector])
+        assert FaultSimulator(nl, patterns, table).detects(fault)
+
+
+def test_guided_matches_unguided_coverage():
+    """SCOAP guidance may reorder decisions, never change testability."""
+    circuit = generators.by_name("r432", scale=0.25)
+    table = LineTable(circuit)
+    plain = Podem(circuit, table, backtrack_limit=200)
+    guided = Podem(circuit, table, backtrack_limit=200, guide=True)
+    for fault in collapsed_faults(circuit, table):
+        a_plain, s_plain = plain.generate(fault)
+        a_guided, s_guided = guided.generate(fault)
+        if s_plain.aborted or s_guided.aborted:
+            continue  # budget differences are fair game
+        assert (a_plain is None) == (a_guided is None), \
+            f"{table.describe(fault.line)}/sa{fault.value}"
+
+
+def test_static_precheck_skips_redundant_fault():
+    """The guided pre-check answers untestable with zero search."""
+    nl = Netlist("red2")
+    a = nl.add_input("a")
+    na = nl.add_gate("na", GateType.NOT, [a])
+    g = nl.add_gate("g", GateType.AND, [a, na])
+    out = nl.add_gate("out", GateType.OR, [g, a])
+    nl.set_outputs([out])
+    table = LineTable(nl)
+    podem = Podem(nl, table, guide=True)
+    fault = SimFault(table.stem(g).index, 0)
+    assignment, stats = podem.generate(fault)
+    assert assignment is None
+    assert stats.static_untestable
+    assert stats.backtracks == 0 and stats.implications == 0
+    assert not stats.aborted

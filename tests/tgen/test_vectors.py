@@ -56,3 +56,22 @@ def test_diagnosis_vectors_mixes_components(c17):
                                   deterministic=False)
     assert rand_only.nbits == 128
     assert mixed.nbits > 128
+
+
+def test_deterministic_patterns_with_stats_accounting(c17):
+    from repro.tgen import deterministic_patterns_with_stats
+
+    pats, stats = deterministic_patterns_with_stats(c17, seed=1,
+                                                    guide=True)
+    assert stats.guided
+    assert stats.vectors == pats.nbits
+    assert stats.faults > 0 and stats.targeted <= stats.faults
+    # every targeted fault is accounted for exactly once
+    assert (stats.generated + stats.untestable + stats.aborted
+            == stats.targeted)
+    assert stats.static_untestable <= stats.untestable
+    payload = stats.to_dict()
+    assert payload["vectors"] == pats.nbits
+    # the wrapper stays behaviour-identical to the stats flavour
+    assert deterministic_patterns(c17, seed=1).nbits == \
+        deterministic_patterns_with_stats(c17, seed=1)[0].nbits
