@@ -1,0 +1,234 @@
+"""Staged-pipeline overhead benchmark (``BENCH_pipeline.json``).
+
+The multi-layer refactor moved every diagnosis mode onto the
+:class:`repro.diagnose.pipeline.DiagnosisSession` stage pipeline; its
+instrumentation (one :class:`StageRecord` per stage execution) must be
+close to free.  One suite, ``pipeline``: diagnose the ``bench_diag``
+reference workloads at ``jobs=1`` and report, per case,
+
+* the best-of-``REPEATS`` end-to-end wall time, and
+* the per-stage breakdown of the best run — ``EngineStats.stages``
+  aggregated by stage name (calls, items in/out, summed wall time).
+
+:data:`PRE_REFACTOR_TOTALS` pins the same workloads' best-of-three
+totals measured at the commit immediately before the engines moved onto
+the session (same machine as the committed payload).  Full (non-smoke)
+regeneration fails if a case exceeds its pre-refactor total by more
+than :data:`OVERHEAD_TOLERANCE`; the schema check and the pytest entry
+enforce structure and determinism only, never timings (shared CI
+runners make wall-clock assertions meaningless).
+
+Run as a script (``python benchmarks/bench_pipeline.py [--smoke]``) it
+regenerates ``BENCH_pipeline.json``; under pytest it validates the
+smoke payload end to end.
+"""
+
+import time
+
+from repro.circuit import generators
+from repro.diagnose import DiagnosisConfig, IncrementalDiagnoser, Mode
+from repro.diagnose.pipeline import STAGE_ORDER
+from repro.faults import (inject_stuck_at_faults,
+                          observable_design_error_workload)
+from repro.sim import PatternSet
+from repro.tgen import random_patterns
+
+SCHEMA = "repro.bench_pipeline/1"
+REPEATS = 5
+CASES = ("exact/alu4", "dedc/alu4")
+SMOKE_CASES = ("exact/c17", "dedc/alu4")
+
+#: Best-of-``REPEATS`` end-to-end seconds for the full-size cases,
+#: measured on the pre-refactor engines (commit f33015c) on the machine
+#: that generated the committed payload.  The staged pipeline must stay
+#: within OVERHEAD_TOLERANCE of these on regeneration.
+PRE_REFACTOR_TOTALS = {"exact/alu4": 6.224, "dedc/alu4": 0.209}
+OVERHEAD_TOLERANCE = 1.05
+
+
+def build_case(case: str):
+    """(spec, impl, patterns, config) of one reference workload.
+
+    Same construction as ``bench_diag.py`` — the workloads
+    :data:`PRE_REFACTOR_TOTALS` was measured on.
+    """
+    kind, name = case.split("/")
+    circuit = generators.c17() if name == "c17" else generators.alu(4)
+    if kind == "exact":
+        workload = inject_stuck_at_faults(circuit, 2, seed=4)
+        patterns = PatternSet.random(circuit.num_inputs, 512, seed=9)
+        config = DiagnosisConfig(mode=Mode.STUCK_AT, exact=True,
+                                 max_errors=2, jobs=1)
+        return workload.impl, circuit, patterns, config
+    patterns = random_patterns(circuit, 512, seed=5)
+    workload = observable_design_error_workload(circuit, 2, patterns,
+                                                seed=11)
+    config = DiagnosisConfig(mode=Mode.DESIGN_ERROR, exact=False,
+                             max_errors=3, jobs=1)
+    return circuit, workload.impl, patterns, config
+
+
+def stage_breakdown(stages: list) -> list:
+    """Aggregate raw stage records by stage name, pipeline order."""
+    by_name: dict = {}
+    for rec in stages:
+        agg = by_name.setdefault(rec["stage"],
+                                 {"stage": rec["stage"], "calls": 0,
+                                  "in": 0, "out": 0, "wall_s": 0.0})
+        agg["calls"] += 1
+        agg["in"] += rec["in"]
+        agg["out"] += rec["out"]
+        agg["wall_s"] += rec["wall_s"]
+    return [by_name[name] for name in STAGE_ORDER if name in by_name]
+
+
+def pipeline_record(case: str) -> dict:
+    spec, impl, patterns, config = build_case(case)
+    best = None
+    for _ in range(REPEATS):
+        diag = IncrementalDiagnoser(spec, impl, patterns, config)
+        t0 = time.perf_counter()
+        result = diag.run()
+        wall = time.perf_counter() - t0
+        if best is None or wall < best[0]:
+            best = (wall, result)
+    wall, result = best
+    stats = result.stats
+    return {
+        "suite": "pipeline", "case": case,
+        "gates": len(spec.gates), "vectors": patterns.nbits,
+        "repeats": REPEATS, "found": result.found,
+        "solutions": len(result.solutions), "nodes": stats.nodes,
+        "truncated": stats.truncated, "total_s": wall,
+        "baseline_s": PRE_REFACTOR_TOTALS.get(case),
+        "stages": stage_breakdown(stats.stages),
+    }
+
+
+def run_suites(smoke: bool = False) -> dict:
+    cases = SMOKE_CASES if smoke else CASES
+    records = [pipeline_record(case) for case in cases]
+    return {"schema": SCHEMA, "smoke": smoke, "records": records}
+
+
+def validate_payload(payload: dict) -> list:
+    errors = []
+    if payload.get("schema") != SCHEMA:
+        errors.append(f"schema must be {SCHEMA}")
+    records = payload.get("records", ())
+    if not records:
+        errors.append("no records")
+    for record in records:
+        case = record.get("case")
+        if record.get("suite") != "pipeline":
+            errors.append(f"unknown suite {record.get('suite')!r}")
+            continue
+        for key in ("case", "gates", "vectors", "repeats", "found",
+                    "solutions", "nodes", "truncated", "total_s",
+                    "baseline_s", "stages"):
+            if key not in record:
+                errors.append(f"pipeline/{case}: missing {key}")
+        stages = record.get("stages", ())
+        if not stages:
+            errors.append(f"pipeline/{case}: no stage breakdown")
+        names = [s.get("stage") for s in stages]
+        for name in names:
+            if name not in STAGE_ORDER:
+                errors.append(f"pipeline/{case}: unknown stage {name!r}")
+        in_order = [n for n in STAGE_ORDER if n in names]
+        if names != in_order:
+            errors.append(f"pipeline/{case}: stages out of pipeline "
+                          "order")
+        for agg in stages:
+            if agg.get("calls", 0) < 1:
+                errors.append(f"pipeline/{case}/{agg.get('stage')}: "
+                              "empty aggregate")
+            if agg.get("wall_s", 0.0) < 0.0:
+                errors.append(f"pipeline/{case}/{agg.get('stage')}: "
+                              "negative wall time")
+        # both ends of the pipeline must always be present
+        for required in ("ingest", "report"):
+            if required not in names:
+                errors.append(f"pipeline/{case}: missing {required} "
+                              "stage")
+        if not record.get("found", False):
+            errors.append(f"pipeline/{case}: reference workload must "
+                          "be diagnosed")
+    return errors
+
+
+def check_overhead(payload: dict) -> list:
+    """Full-generation gate: totals vs the pre-refactor engines."""
+    errors = []
+    for record in payload.get("records", ()):
+        baseline = record.get("baseline_s")
+        if baseline is None:
+            continue
+        total = record["total_s"]
+        if total > baseline * OVERHEAD_TOLERANCE:
+            errors.append(
+                f"pipeline/{record['case']}: {total:.3f}s exceeds "
+                f"pre-refactor {baseline:.3f}s by more than "
+                f"{(OVERHEAD_TOLERANCE - 1) * 100:.0f}%")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_bench_payload_schema():
+    payload = run_suites(smoke=True)
+    assert validate_payload(payload) == []
+    for record in payload["records"]:
+        # instrumentation must cover the whole run: the ingest stage is
+        # recorded once per repeat-best run, the search stage at least
+        # once per deepening level that executed
+        names = [s["stage"] for s in record["stages"]]
+        assert "search" in names
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="regenerate BENCH_pipeline.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced cases for CI (no overhead gate)")
+    parser.add_argument("--check", metavar="FILE",
+                        help="validate an existing payload and exit")
+    parser.add_argument("--out", default="BENCH_pipeline.json")
+    args = parser.parse_args(argv)
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            errors = validate_payload(json.load(fh))
+        for err in errors:
+            print(f"schema: {err}")
+        print(f"{args.check}: {'FAIL' if errors else 'ok'}")
+        return 2 if errors else 0
+    payload = run_suites(smoke=args.smoke)
+    errors = validate_payload(payload)
+    if not args.smoke:
+        errors += check_overhead(payload)
+    if errors:
+        for err in errors:
+            print(f"bench_pipeline: {err}")
+        return 2
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    for record in payload["records"]:
+        top = max(record["stages"], key=lambda s: s["wall_s"])
+        baseline = record["baseline_s"]
+        vs = (f" (pre-refactor {baseline:.3f}s)"
+              if baseline is not None else "")
+        print(f"{record['case']:>12}: {record['total_s']:.3f}s{vs} "
+              f"best of {record['repeats']}, "
+              f"{record['nodes']} nodes, hottest stage "
+              f"{top['stage']} {top['wall_s']:.3f}s")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,7 +35,9 @@ from .bench import (format_ablation, format_compare, format_table1,
                     format_table2, run_ablation, run_compare,
                     run_table1, run_table2)
 from .circuit import bench_io, full_scan, generators, verilog_io
-from .diagnose import DiagnosisConfig, IncrementalDiagnoser, Mode
+from .diagnose import (DiagnosisConfig, IncrementalDiagnoser, Mode,
+                       TraceWriter, validate_trace_file)
+from .errors import DiagnosisError
 from .faults import inject_design_errors, inject_stuck_at_faults
 from .tgen import random_patterns
 
@@ -131,17 +133,43 @@ def cmd_diagnose(args) -> int:
                              incremental_facts=not
                              args.no_incremental_facts,
                              seed=args.seed)
-    if mode is Mode.STUCK_AT:
-        # Fault-model the good netlist against the faulty device.
-        engine = IncrementalDiagnoser(impl, spec, patterns, config)
-    else:
-        engine = IncrementalDiagnoser(spec, impl, patterns, config)
-    result = engine.run()
+    trace_fh = None
+    trace = None
+    if args.trace:
+        trace_fh = open(args.trace, "w", encoding="utf-8")
+        trace = TraceWriter(trace_fh)
+    try:
+        try:
+            if mode is Mode.STUCK_AT:
+                # Fault-model the good netlist against the faulty device.
+                engine = IncrementalDiagnoser(impl, spec, patterns,
+                                              config, trace=trace)
+            else:
+                engine = IncrementalDiagnoser(spec, impl, patterns,
+                                              config, trace=trace)
+        except DiagnosisError as exc:
+            sys.exit(f"repro diagnose: {exc}")
+        result = engine.run()
+    finally:
+        if trace_fh is not None:
+            trace_fh.close()
     if args.format == "json":
         print(json.dumps(_diagnose_json(result), indent=2))
     else:
         print(result.summary())
     return 0 if result.found else 1
+
+
+def cmd_trace_check(args) -> int:
+    """Schema-check a ``--trace`` JSONL file.  Exit 0 ok, 2 invalid."""
+    failures = 0
+    for path in args.files:
+        errors = validate_trace_file(path)
+        for err in errors:
+            print(f"{path}: {err}")
+        print(f"{path}: {'FAIL' if errors else 'ok'}")
+        failures += bool(errors)
+    return 2 if failures else 0
 
 
 def _diagnose_json(result) -> dict:
@@ -169,6 +197,7 @@ def _diagnose_json(result) -> dict:
             "corr_time_s": stats.corr_time,
             "apply_time_s": stats.apply_time,
             "total_time_s": stats.total_time,
+            "stages": list(stats.stages),
         },
     }
 
@@ -530,8 +559,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text",
                    help="json adds the search counters (nodes, "
                         "facts_reused/facts_recomputed/delta_edits, "
-                        "truncation causes) to the solution list")
+                        "truncation causes, per-stage records) to the "
+                        "solution list")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="write a JSONL event stream (run-start, one "
+                        "event per pipeline stage, run-end) to FILE; "
+                        "validate with 'repro trace-check'")
     p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser("trace-check",
+                       help="schema-check a diagnose --trace file")
+    p.add_argument("files", nargs="+", metavar="FILE")
+    p.set_defaults(func=cmd_trace_check)
 
     p = sub.add_parser("lint",
                        help="rule-based static analysis of a netlist")

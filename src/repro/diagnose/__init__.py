@@ -1,6 +1,8 @@
 """The paper's contribution: incremental diagnosis & correction."""
 
-from .bitlists import DiagnosisState, OverrideOutcome
+from . import clock
+from .bitlists import (DiagnosisState, OverrideOutcome,
+                       error_partition, reference_outputs)
 from .config import (DiagnosisConfig, FLOOR, HLevel, Mode,
                      default_schedule)
 from .pathtrace import (derive_seed, marked_lines, path_trace_counts,
@@ -13,6 +15,12 @@ from .candidates import (corrections_for_line, design_error_corrections,
                          stuck_at_corrections, wire_sources)
 from .ranking import rank_corrections, rank_value
 from .tree import DecisionTree, Node, round_visit_order
+from .pipeline import (STAGE_ORDER, TRACE_SCHEMA, DiagnosisSession,
+                       ExactStuckAtStrategy, FunctionStage,
+                       LadderStrategy, SearchStrategy, Stage,
+                       StageRecord, TraceWriter, run_stages,
+                       select_strategy, validate_trace_events,
+                       validate_trace_file)
 from .engine import IncrementalDiagnoser, diagnose
 from .dedup import dedup_solutions
 from .report import (CorrectionRecord, DiagnosisResult, EngineStats,
@@ -30,7 +38,14 @@ from .dictionary import DictionaryMatch, FaultDictionary
 enumerate_corrections = corrections_for_line
 
 __all__ = [
-    "DiagnosisState", "OverrideOutcome",
+    "clock",
+    "DiagnosisState", "OverrideOutcome", "error_partition",
+    "reference_outputs",
+    "STAGE_ORDER", "TRACE_SCHEMA", "DiagnosisSession",
+    "ExactStuckAtStrategy", "FunctionStage", "LadderStrategy",
+    "SearchStrategy", "Stage", "StageRecord", "TraceWriter",
+    "run_stages", "select_strategy", "validate_trace_events",
+    "validate_trace_file",
     "DiagnosisConfig", "FLOOR", "HLevel", "Mode", "default_schedule",
     "derive_seed", "marked_lines", "path_trace_counts",
     "path_trace_vector", "top_fraction",

@@ -26,6 +26,33 @@ from ..sim.logicsim import output_rows, propagate, simulate
 from ..sim.packing import PatternSet, popcount, tail_mask
 
 
+def reference_outputs(netlist: Netlist,
+                      patterns: PatternSet) -> np.ndarray:
+    """Packed output rows of a netlist over a pattern set.
+
+    The shared *ingest* step of the staged pipeline
+    (:mod:`repro.diagnose.pipeline`): the combinational engine uses it
+    for the spec's reference responses, the time-frame and SAT
+    diagnosers for the faulty device's observed responses.
+    """
+    return output_rows(netlist, simulate(netlist, patterns))
+
+
+def error_partition(out: np.ndarray, ref_out: np.ndarray,
+                    nbits: int) -> tuple:
+    """Partition V against reference responses (the *bitlists* step).
+
+    Returns ``(diff, err_mask, num_err)``: per-output packed mismatch
+    rows (tail-masked), the packed mask of vectors failing on any
+    output, and its popcount.  One definition shared by
+    :class:`DiagnosisState`, the time-frame joint state and the SAT
+    diagnoser's constraint-vector split.
+    """
+    diff = masked(out ^ ref_out, nbits)
+    err_mask = np.bitwise_or.reduce(diff, axis=0)
+    return diff, err_mask, popcount(err_mask)
+
+
 class DiagnosisState:
     """Simulation snapshot of one implementation against the spec.
 
@@ -55,12 +82,11 @@ class DiagnosisState:
             else values
         self.spec_out = spec_out
         out = output_rows(netlist, self.values)
-        self.diff = masked(out ^ spec_out, patterns.nbits)
-        self.err_mask = np.bitwise_or.reduce(self.diff, axis=0)
+        self.diff, self.err_mask, self.num_err = error_partition(
+            out, spec_out, patterns.nbits)
         full = np.full_like(self.err_mask, np.uint64(0xFFFFFFFFFFFFFFFF))
         full[-1] = tail_mask(patterns.nbits)
         self.corr_mask = self.err_mask ^ full
-        self.num_err = popcount(self.err_mask)
         self.num_corr = patterns.nbits - self.num_err
         self.num_err_pairs = popcount(self.diff)
         # One scratch diff matrix reused by every outcome_of_override

@@ -1,0 +1,55 @@
+"""Unified timing source for the diagnose layer.
+
+Every deadline and stats timing in :mod:`repro.diagnose` goes through
+this module, on the monotonic ``time.perf_counter`` scale — wall-clock
+measurements are *observability only* and excluded from the engine's
+determinism contract (solutions and deterministic counters are functions
+of ``(netlist, patterns, config)``, never of elapsed time).
+
+Epoch wall-clock (``time.time``) appears in exactly one role: converting
+a deadline for the cross-process boundary, because ``perf_counter``
+values are not comparable between processes.  :mod:`repro.parallel`
+keeps its own ``time.time`` calls for the same reason — it *is* the
+boundary; everything inside the diagnose layer converts through
+:func:`perf_to_wall` / :func:`wall_to_perf`.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Monotonic timestamp (``time.perf_counter``)."""
+    return time.perf_counter()
+
+
+def wall_now() -> float:
+    """Epoch timestamp — for the cross-process boundary only."""
+    return time.time()
+
+
+def deadline_in(budget: float | None) -> float | None:
+    """Monotonic deadline ``budget`` seconds from now (None = no limit)."""
+    if budget is None:
+        return None
+    return now() + budget
+
+
+def expired(deadline: float | None) -> bool:
+    """True once a monotonic deadline has passed (None never expires)."""
+    return deadline is not None and now() > deadline
+
+
+def perf_to_wall(deadline: float | None) -> float | None:
+    """Monotonic deadline -> epoch timestamp workers can share."""
+    if deadline is None:
+        return None
+    return wall_now() + max(0.0, deadline - now())
+
+
+def wall_to_perf(wall_deadline: float | None) -> float | None:
+    """Epoch deadline -> this process's monotonic scale."""
+    if wall_deadline is None:
+        return None
+    return now() + (wall_deadline - wall_now())

@@ -192,3 +192,100 @@ class DiagnosisConfig:
 
     def ladder(self, num_errors: int) -> list[HLevel]:
         return list(self.schedule) or default_schedule(num_errors)
+
+    def validate(self, *,
+                 sequential: bool | None = None) -> "DiagnosisConfig":
+        """Reject contradictory or mode-inapplicable knob combinations.
+
+        Called from every pipeline entry point (engine, time-frame and
+        SAT diagnosers, CLI) so a bad flag combination fails up front
+        with an actionable :class:`~repro.errors.DiagnosisError`
+        instead of being silently ignored mid-search.  String ``mode``
+        values are coerced to :class:`Mode` in place.
+
+        Args:
+            sequential: ``False`` for the combinational engine (rejects
+                ``seq_prescreen``, which only the time-frame diagnoser
+                reads), ``True`` for the sequential one, ``None`` skips
+                the engine-specific check.
+
+        Note ``worker_budget`` is deliberately *not* tied to ``jobs``:
+        the per-shard budget applies identically at any pool width
+        (including the in-process ``jobs=1`` plan), which is what makes
+        shard truncation reproducible — see the attribute docs.
+
+        Returns self, so entry points can chain on a fresh config.
+        """
+        from ..errors import DiagnosisError
+
+        if isinstance(self.mode, str):
+            try:
+                self.mode = Mode(self.mode)
+            except ValueError:
+                valid = ", ".join(repr(m.value) for m in Mode)
+                raise DiagnosisError(
+                    f"unknown diagnosis mode {self.mode!r}; valid "
+                    f"modes are {valid}") from None
+        if not isinstance(self.mode, Mode):
+            raise DiagnosisError(
+                f"mode must be a Mode or a mode string, got "
+                f"{self.mode!r}")
+        if self.exact and self.mode is not Mode.STUCK_AT:
+            raise DiagnosisError(
+                "exact=True is the exhaustive stuck-at protocol "
+                "(Table 1); design-error mode stops at the first valid "
+                "correction set — set exact=False for "
+                "mode=Mode.DESIGN_ERROR")
+        if self.traversal not in ("rounds", "dfs", "bfs"):
+            raise DiagnosisError(
+                f"unknown traversal {self.traversal!r}; choose "
+                "'rounds' (paper), 'dfs' or 'bfs'")
+        for name, floor in (("max_errors", 1), ("pathtrace_samples", 1),
+                            ("wire_source_limit", 1),
+                            ("corrections_per_node", 1),
+                            ("max_nodes", 1), ("jobs", 1),
+                            ("max_rounds", 1), ("prove_budget", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < floor:
+                raise DiagnosisError(
+                    f"{name} must be an int >= {floor} (got {value!r})")
+        if self.worker_budget is not None and self.worker_budget < 0:
+            raise DiagnosisError(
+                f"worker_budget must be >= 0 or None (got "
+                f"{self.worker_budget!r}); None means each shard "
+                "inherits max_nodes")
+        if not 0.0 < self.candidate_fraction <= 1.0:
+            raise DiagnosisError(
+                f"candidate_fraction must be in (0, 1] (got "
+                f"{self.candidate_fraction!r}) — the paper promotes "
+                "the top 5-20% of path-trace-marked lines")
+        if self.theorem1_safety <= 0.0:
+            raise DiagnosisError(
+                f"theorem1_safety must be > 0 (got "
+                f"{self.theorem1_safety!r}); 1.0 is the proven bound, "
+                "smaller values loosen the screen")
+        if not 0.0 <= self.h3_exact <= 1.0:
+            raise DiagnosisError(
+                f"h3_exact must be in [0, 1] (got {self.h3_exact!r}); "
+                "0 disables the heuristic-3 screen in exact mode")
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise DiagnosisError(
+                f"time_budget must be > 0 seconds or None (got "
+                f"{self.time_budget!r})")
+        for level in self.schedule:
+            if not isinstance(level, HLevel):
+                raise DiagnosisError(
+                    f"schedule entries must be HLevel (got {level!r})")
+            for hname in ("h1", "h2", "h3"):
+                value = getattr(level, hname)
+                if not 0.0 <= value <= 1.0:
+                    raise DiagnosisError(
+                        f"schedule level {level}: {hname} must be in "
+                        f"[0, 1] (got {value!r}); 0 disables that "
+                        "heuristic (ablation studies rely on this)")
+        if sequential is False and self.seq_prescreen:
+            raise DiagnosisError(
+                "seq_prescreen=True only applies to the sequential "
+                "TimeFrameDiagnoser (reset-masked suspects); the "
+                "combinational engine's pre-screen is static_prescreen")
+        return self

@@ -26,9 +26,9 @@ silent.
 from __future__ import annotations
 
 import dataclasses
-import time
 from typing import List
 
+from . import clock
 from .report import EngineStats, Solution
 
 
@@ -43,7 +43,7 @@ def dedup_solutions(solutions: List[Solution], stats: EngineStats,
     """
     from ..analyze.prove import ProofStatus, prove_equivalent
 
-    t0 = time.perf_counter()
+    t0 = clock.now()
     kept: List[Solution] = []
     for sol in solutions:
         merged = False
@@ -65,5 +65,5 @@ def dedup_solutions(solutions: List[Solution], stats: EngineStats,
                     stats.dedup_unknown += 1
         if not merged:
             kept.append(sol)
-    stats.dedup_time += time.perf_counter() - t0
+    stats.dedup_time += clock.now() - t0
     return kept

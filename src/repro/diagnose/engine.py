@@ -25,18 +25,22 @@ Minimality in both modes comes from iterative deepening on the target
 cardinality: the engine never looks for N+1-correction sets while an
 N-correction set exists.
 
-Both protocols run through the shard scheduler of :mod:`repro.parallel`:
-exact mode plans one shard per screened root correction, DEDC mode one
-per relaxation-ladder attempt.  ``DiagnosisConfig(jobs=1)`` executes the
-plan in-process, ``jobs=N`` on a process pool — with the same shard
-plan, per-shard budgets and merge order either way, so the solution
-list and the deterministic counters are identical at any pool width.
+Since the staged-pipeline refactor this class is a thin wrapper: it
+ingests the netlists into a :class:`~repro.diagnose.pipeline.
+DiagnosisSession` and delegates the deepening loop to the mode's
+:class:`~repro.diagnose.pipeline.SearchStrategy` (exact stuck-at or
+DEDC ladder).  Both strategies dispatch their shard plan through the
+session's pluggable executor — :func:`repro.parallel.run_shards` by
+default: ``DiagnosisConfig(jobs=1)`` executes the plan in-process,
+``jobs=N`` on a process pool — with the same shard plan, per-shard
+budgets and merge order either way, so the solution list and the
+deterministic counters are identical at any pool width.  Per-stage
+instrumentation lands in ``EngineStats.stages``.
 """
 
 from __future__ import annotations
 
 import math
-import time
 
 import numpy as np
 
@@ -44,13 +48,14 @@ from ..analyze.invariants import InvariantChecker
 from ..circuit.netlist import Netlist
 from ..errors import DiagnosisError
 from ..faults.models import CorrectionKind, apply_correction
-from ..parallel import ShardResult, run_shards
-from ..sim.logicsim import output_rows, simulate
+from ..parallel import ShardResult
 from ..sim.packing import PatternSet
-from .bitlists import DiagnosisState
+from . import clock
+from .bitlists import DiagnosisState, reference_outputs
 from .candidates import is_correctable_line, stuck_at_corrections
 from .config import DiagnosisConfig, Mode
 from .pathtrace import derive_seed, marked_lines, path_trace_counts
+from .pipeline import DiagnosisSession, TraceWriter, select_strategy
 from .report import (CorrectionRecord, DiagnosisResult, EngineStats,
                      Solution, mark_truncated, sort_solutions)
 from .screening import prescreen_suspects, screen_verr, theorem1_bound
@@ -62,7 +67,11 @@ class IncrementalDiagnoser:
 
     def __init__(self, spec: Netlist, impl: Netlist,
                  patterns: PatternSet,
-                 config: DiagnosisConfig | None = None):
+                 config: DiagnosisConfig | None = None,
+                 trace: TraceWriter | None = None,
+                 executor=None):
+        config = config or DiagnosisConfig()
+        config.validate(sequential=False)
         if spec.num_inputs != impl.num_inputs:
             raise DiagnosisError(
                 f"spec has {spec.num_inputs} inputs, implementation has "
@@ -78,9 +87,23 @@ class IncrementalDiagnoser:
         self.spec = spec
         self.impl = impl
         self.patterns = patterns
-        self.config = config or DiagnosisConfig()
-        self.spec_out = output_rows(spec, simulate(spec, patterns))
-        self.root_state = DiagnosisState(impl, patterns, self.spec_out)
+        self.config = config
+        self.session = DiagnosisSession(config, trace=trace,
+                                        executor=executor)
+        with self.session.stage("ingest",
+                                items_in=patterns.nbits) as rec:
+            self.spec_out = reference_outputs(spec, patterns)
+            rec.items_out = len(self.spec_out)
+            rec.info = {"outputs": spec.num_outputs,
+                        "vectors": patterns.nbits}
+        with self.session.stage("bitlists",
+                                items_in=patterns.nbits) as rec:
+            self.root_state = DiagnosisState(impl, patterns,
+                                             self.spec_out)
+            rec.items_out = self.root_state.num_err
+            rec.info = {"num_err": self.root_state.num_err,
+                        "num_corr": self.root_state.num_corr}
+        self.session.freeze_setup()
         self.invariants = (InvariantChecker()
                            if self.config.check_invariants else None)
         if self.invariants:
@@ -89,50 +112,51 @@ class IncrementalDiagnoser:
     # ------------------------------------------------------------------
     def run(self) -> DiagnosisResult:
         """Iterative-deepening search per the configured protocol."""
-        t0 = time.perf_counter()
-        self._deadline = (t0 + self.config.time_budget
-                          if self.config.time_budget else None)
-        stats = EngineStats()
+        session = self.session
+        t0 = clock.now()
+        stats = session.begin_run(
+            mode=self.config.mode.value, exact=self.config.exact,
+            jobs=self.config.jobs, vectors=self.patterns.nbits,
+            initial_failing=self.root_state.num_err)
+        self._deadline = session.deadline
         solutions: list[Solution] = []
-        if self.root_state.rectified:
-            stats.total_time = time.perf_counter() - t0
-            return DiagnosisResult([], stats, self.patterns.nbits, 0)
-        for target in range(1, self.config.max_errors + 1):
-            if self._deadline and time.perf_counter() > self._deadline:
-                mark_truncated(stats, "time-budget")
-                break
-            if self.config.exact and self.config.mode is Mode.STUCK_AT:
-                level = EngineStats()
-                found = self._search_exact(target, level)
-                stats.merge(level)
-                stats.levels_tried.append(f"N={target} exact")
-                if found:
-                    solutions = found
-                    break
-            else:
-                found = self._search_incremental(target, stats)
-                if found:
-                    solutions = found
-                    break
+        if not self.root_state.rectified:
+            solutions = select_strategy(self.config).search(session,
+                                                            self)
         if self.config.prove_dedup and len(solutions) > 1:
             from .dedup import dedup_solutions
-            solutions = dedup_solutions(
-                solutions, stats,
-                conflict_budget=self.config.prove_budget)
-        stats.total_time = time.perf_counter() - t0
-        return DiagnosisResult(solutions, stats, self.patterns.nbits,
-                               self.root_state.num_err)
+            with session.stage("dedup", items_in=len(solutions)) as rec:
+                solutions = dedup_solutions(
+                    solutions, stats,
+                    conflict_budget=self.config.prove_budget)
+                rec.items_out = len(solutions)
+                rec.info = {"checked": stats.dedup_checked,
+                            "merged": stats.dedup_merged,
+                            "unknown": stats.dedup_unknown}
+        with session.stage("verify", items_in=len(solutions)) as rec:
+            # Reported tuples are rectifying by construction (every
+            # child state is re-checked against the full V); the stage
+            # records that accounting rather than re-simulating.
+            rec.items_out = len(solutions)
+            rec.info = {"method": "constructive"}
+        with session.stage("report", items_in=len(solutions)) as rec:
+            result = DiagnosisResult(solutions, stats,
+                                     self.patterns.nbits,
+                                     self.root_state.num_err)
+            rec.items_out = len(result.solutions)
+        stats.total_time = clock.now() - t0
+        session.end_run(found=result.found, solutions=len(solutions),
+                        nodes=stats.nodes, truncated=stats.truncated,
+                        total_s=stats.total_time)
+        return result
 
     # ------------------------------------------------------------------
     # scheduler plumbing shared by both protocols
     # ------------------------------------------------------------------
     def _wall_deadline(self) -> float | None:
-        """The engine deadline as an epoch timestamp workers can share
+        """The run deadline as an epoch timestamp workers can share
         (``time.perf_counter`` is not comparable across processes)."""
-        if self._deadline is None:
-            return None
-        return time.time() + max(0.0,
-                                 self._deadline - time.perf_counter())
+        return self.session.wall_deadline()
 
     def _worker_payload(self) -> tuple:
         """One read-only pickle per worker: netlist + packed patterns."""
@@ -145,124 +169,8 @@ class IncrementalDiagnoser:
 
     def _merge_shard(self, stats: EngineStats, res: ShardResult,
                      label: str, merged: dict | None) -> None:
-        """Fold one shard's outcome into the level stats, in plan order.
-
-        A failed shard (worker crash, deadline overrun) truncates the
-        run but never drops its siblings' solutions.
-        """
-        if res.error is not None:
-            mark_truncated(stats, f"{label}: {res.error}")
-            stats.shards.append({"shard": label, "nodes": 0,
-                                 "truncated": True, "wall_s": 0.0,
-                                 "error": res.error})
-            return
-        stats.merge(res.stats)
-        stats.shards.append({"shard": label, "nodes": res.stats.nodes,
-                             "truncated": res.stats.truncated,
-                             "wall_s": res.stats.total_time,
-                             "error": None})
-        if merged is not None:
-            for solution in res.solutions:
-                merged.setdefault(solution.key, solution)
-
-    # ------------------------------------------------------------------
-    # DEDC / first-solution protocol
-    # ------------------------------------------------------------------
-    def _search_incremental(self, target: int,
-                            stats: EngineStats) -> list[Solution]:
-        ladder = self.config.ladder(target)
-        # Relaxation ladder, then one last attempt with every path-trace-
-        # marked line as a candidate (the "reduce progressively when the
-        # algorithm returns with no corrections" endgame of §3.2).
-        attempts = [(h, None) for h in ladder] + [(ladder[-1], 1.0)]
-        if self.config.jobs > 1 and len(attempts) > 1:
-            return self._incremental_sharded(target, stats, attempts)
-        # Serial path: same per-attempt accounting (one shard record per
-        # rung executed) as the sharded merge, so jobs=1 and jobs=N
-        # report identical deterministic counters.
-        for index, (h, fraction) in enumerate(attempts):
-            if self._deadline and time.perf_counter() > self._deadline:
-                mark_truncated(stats, "time-budget")
-                break
-            attempt_stats = EngineStats()
-            t0 = time.perf_counter()
-            tree = DecisionTree(self.root_state, target, h, self.config,
-                                attempt_stats,
-                                candidate_fraction=fraction,
-                                deadline=self._deadline)
-            solutions = tree.run(stop_at_first=True,
-                                 traversal=self.config.traversal)
-            attempt_stats.total_time = time.perf_counter() - t0
-            label = _attempt_label(target, h, fraction)
-            self._merge_shard(stats, ShardResult(index, solutions,
-                                                 attempt_stats), label,
-                              None)
-            stats.levels_tried.append(label)
-            if solutions:
-                return solutions
-        return []
-
-    def _incremental_sharded(self, target: int, stats: EngineStats,
-                             attempts: list) -> list[Solution]:
-        """Speculative ladder: every rung runs as its own shard.
-
-        The serial loop stops at the first rung that yields; here all
-        rungs run concurrently and the merge keeps the earliest
-        successful one, folding in only the stats of rungs the serial
-        loop would have executed (rungs at or before the winner) so the
-        deterministic counters match ``jobs=1``.  Work spent on
-        discarded speculative rungs is real but unreported by design.
-        """
-        wall_deadline = self._wall_deadline()
-        tasks = [("attempt", i, target, h, fraction, wall_deadline)
-                 for i, (h, fraction) in enumerate(attempts)]
-        results = run_shards(tasks, self.config.jobs,
-                             payload=self._worker_payload(),
-                             wall_deadline=wall_deadline)
-        winner = None
-        for res in results:
-            if res.error is None and res.solutions:
-                winner = res.index
-                break
-        last = winner if winner is not None else len(results) - 1
-        for res in results[:last + 1]:
-            h, fraction = attempts[res.index]
-            label = _attempt_label(target, h, fraction)
-            self._merge_shard(stats, res, label, None)
-            if res.error is None:
-                stats.levels_tried.append(label)
-        if winner is None:
-            return []
-        return list(results[winner].solutions)
-
-    # ------------------------------------------------------------------
-    # exact stuck-at protocol (Table 1)
-    # ------------------------------------------------------------------
-    def _search_exact(self, target: int,
-                      stats: EngineStats) -> list[Solution]:
-        """Sharded exhaustive search: one shard per screened root
-        correction, merged in plan order (see :mod:`repro.parallel`)."""
-        config = self.config
-        root_candidates = exact_candidates(
-            self.root_state, frozenset(), target, config, stats,
-            self.invariants)
-        if not root_candidates:
-            return []
-        wall_deadline = self._wall_deadline()
-        tasks = [("exact", i, target, corr, wall_deadline)
-                 for i, (_complemented, corr) in
-                 enumerate(root_candidates)]
-        results = run_shards(tasks, config.jobs,
-                             payload=self._worker_payload(),
-                             context=self._local_context(),
-                             wall_deadline=wall_deadline)
-        merged: dict = {}
-        for res in results:
-            signature = root_candidates[res.index][1].describe(
-                self.root_state.netlist, self.root_state.table)
-            self._merge_shard(stats, res, f"N={target} {signature}",
-                              merged)
-        return sort_solutions(merged.values())
+        """Back-compat alias for the session's shard merge."""
+        self.session.merge_shard(stats, res, label, merged)
 
 
 def _forced_words(state: DiagnosisState, corr) -> np.ndarray:
@@ -275,13 +183,6 @@ def _forced_words(state: DiagnosisState, corr) -> np.ndarray:
 
 def _attempt_label(target: int, h, fraction) -> str:
     return f"N={target} h={h}" + (" full" if fraction else "")
-
-
-def _perf_deadline(wall_deadline: float | None) -> float | None:
-    """Epoch deadline -> this process's ``perf_counter`` scale."""
-    if wall_deadline is None:
-        return None
-    return time.perf_counter() + (wall_deadline - time.time())
 
 
 def fast_stuck_at_child(state: DiagnosisState, corr) -> DiagnosisState:
@@ -313,34 +214,54 @@ def fast_stuck_at_child(state: DiagnosisState, corr) -> DiagnosisState:
                           state.spec_out, values=values)
 
 
-def exact_candidates(state: DiagnosisState, applied_keys: frozenset,
-                     remaining: int, config: DiagnosisConfig,
-                     stats: EngineStats,
-                     invariants=None) -> list:
-    """Ordered ``(complemented, correction)`` candidates at one
-    exact-mode node: path trace, static pre-screen, Theorem 1 screen,
-    outcome-guided head ordering.
+# ----------------------------------------------------------------------
+# exact-mode node expansion, decomposed along the pipeline stages
+# ----------------------------------------------------------------------
+def pathtrace_suspects(state: DiagnosisState, applied_keys: frozenset,
+                       config: DiagnosisConfig,
+                       stats: EngineStats) -> list:
+    """Path-trace-marked suspect lines at one node (pathtrace stage).
 
-    Deterministic given ``(state, applied_keys, config)`` — the
-    path-trace sample uses the node's derived seed and every sort is
-    stable — which is what lets the root expansion double as the shard
-    plan of the parallel scheduler.
+    Deterministic given ``(state, applied_keys, config)``: the sample
+    uses the node's derived seed.
     """
-    t0 = time.perf_counter()
+    t0 = clock.now()
     counts = path_trace_counts(state, config.pathtrace_samples,
                                derive_seed(config.seed, applied_keys))
     lines = marked_lines(counts)
-    if config.static_prescreen:
-        lines, dropped = prescreen_suspects(state, lines,
-                                            deep=not applied_keys)
-        stats.prescreen_dropped += dropped
-    stats.diag_time += time.perf_counter() - t0
+    stats.diag_time += clock.now() - t0
+    return lines
+
+
+def prescreen_lines(state: DiagnosisState, lines: list,
+                    applied_keys: frozenset, config: DiagnosisConfig,
+                    stats: EngineStats) -> list:
+    """Static pre-screen of the marked suspects (prescreen stage)."""
+    if not config.static_prescreen:
+        return lines
+    t0 = clock.now()
+    lines, dropped = prescreen_suspects(state, lines,
+                                        deep=not applied_keys)
+    stats.prescreen_dropped += dropped
+    stats.diag_time += clock.now() - t0
+    return lines
+
+
+def screen_and_rank(state: DiagnosisState, lines: list,
+                    applied_keys: frozenset, remaining: int,
+                    config: DiagnosisConfig, stats: EngineStats,
+                    invariants=None) -> list:
+    """Theorem 1 screen + outcome-guided ordering (rank-screen stage).
+
+    Returns ordered ``(complemented, correction)`` pairs; every sort is
+    stable, so the order is deterministic.
+    """
     if invariants:
         invariants.check_theorem1(state.num_err, remaining)
         invariants.check_lines_live(state, lines)
     bound = theorem1_bound(state.num_err, remaining)
     bound = max(1, int(math.ceil(bound * config.theorem1_safety)))
-    t1 = time.perf_counter()
+    t1 = clock.now()
     screened = []
     for line in lines:
         if not is_correctable_line(state, line):
@@ -366,8 +287,26 @@ def exact_candidates(state: DiagnosisState, applied_keys: frozenset,
     scored_head.sort(key=lambda t: t[:2])
     ordered = ([(-c, corr) for (_e, c, corr) in scored_head]
                + screened[head_n:])
-    stats.corr_time += time.perf_counter() - t1
+    stats.corr_time += clock.now() - t1
     return ordered
+
+
+def exact_candidates(state: DiagnosisState, applied_keys: frozenset,
+                     remaining: int, config: DiagnosisConfig,
+                     stats: EngineStats,
+                     invariants=None) -> list:
+    """Ordered ``(complemented, correction)`` candidates at one
+    exact-mode node: path trace, static pre-screen, Theorem 1 screen,
+    outcome-guided head ordering.
+
+    Composes the three stage functions above.  Deterministic given
+    ``(state, applied_keys, config)`` — which is what lets the root
+    expansion double as the shard plan of the parallel scheduler.
+    """
+    lines = pathtrace_suspects(state, applied_keys, config, stats)
+    lines = prescreen_lines(state, lines, applied_keys, config, stats)
+    return screen_and_rank(state, lines, applied_keys, remaining,
+                           config, stats, invariants)
 
 
 class _SearchTruncated(Exception):
@@ -423,9 +362,9 @@ class _ExactSearch:
             self._check_budget()  # before marking: truncation must
             self.visited.add(new_keys)  # never hide unexplored work
             self.budget -= 1
-            t0 = time.perf_counter()
+            t0 = clock.now()
             child_state = fast_stuck_at_child(state, corr)
-            self.stats.apply_time += time.perf_counter() - t0
+            self.stats.apply_time += clock.now() - t0
             if self.invariants:
                 self.invariants.check_state(child_state)
             self.stats.nodes += 1
@@ -449,8 +388,7 @@ class _ExactSearch:
         if self.budget <= 0:
             mark_truncated(self.stats, "node-budget")
             raise _SearchTruncated
-        if (self.deadline is not None
-                and time.perf_counter() > self.deadline):
+        if clock.expired(self.deadline):
             mark_truncated(self.stats, "time-budget")
             raise _SearchTruncated
 
@@ -467,17 +405,17 @@ def execute_shard(context, task) -> ShardResult:
     """
     kind, index = task[0], task[1]
     stats = EngineStats()
-    t0 = time.perf_counter()
+    t0 = clock.now()
     if kind == "exact":
         _kind, _index, target, corr, wall_deadline = task
         search = _ExactSearch(context.config, target, stats,
-                              _perf_deadline(wall_deadline))
+                              clock.wall_to_perf(wall_deadline))
         try:
             search.explore(context.root_state, (), frozenset(),
                            ordered=((0, corr),))
         except _SearchTruncated:
             pass
-        stats.total_time = time.perf_counter() - t0
+        stats.total_time = clock.now() - t0
         found = sort_solutions(search.solutions.values())
         return ShardResult(index, found, stats)
     if kind == "attempt":
@@ -485,17 +423,19 @@ def execute_shard(context, task) -> ShardResult:
         tree = DecisionTree(context.root_state, target, h,
                             context.config, stats,
                             candidate_fraction=fraction,
-                            deadline=_perf_deadline(wall_deadline))
+                            deadline=clock.wall_to_perf(wall_deadline))
         solutions = tree.run(stop_at_first=True,
                              traversal=context.config.traversal)
-        stats.total_time = time.perf_counter() - t0
+        stats.total_time = clock.now() - t0
         return ShardResult(index, solutions, stats)
     raise ValueError(f"unknown shard kind {kind!r}")
 
 
 def diagnose(spec: Netlist, impl: Netlist, patterns: PatternSet,
-             mode: Mode = Mode.STUCK_AT, **config_kwargs
+             mode: Mode = Mode.STUCK_AT,
+             trace: TraceWriter | None = None, **config_kwargs
              ) -> DiagnosisResult:
     """One-call convenience wrapper around :class:`IncrementalDiagnoser`."""
     config = DiagnosisConfig(mode=mode, **config_kwargs)
-    return IncrementalDiagnoser(spec, impl, patterns, config).run()
+    return IncrementalDiagnoser(spec, impl, patterns, config,
+                                trace=trace).run()

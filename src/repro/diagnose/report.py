@@ -116,6 +116,11 @@ class EngineStats:
     dedup_merged: int = 0     # proven-equivalent candidates collapsed
     dedup_unknown: int = 0    # checks that exhausted the conflict budget
     dedup_time: float = 0.0   # wall time of the dedup pass
+    #: per-stage instrumentation appended by the pipeline session, in
+    #: execution order: {"stage", "target", "in", "out", "info",
+    #: "wall_s"} — see :mod:`repro.diagnose.pipeline`.  Deterministic
+    #: except "wall_s" (a measurement).
+    stages: list = field(default_factory=list)
 
     def merge(self, other: "EngineStats") -> None:
         self.nodes += other.nodes
@@ -138,6 +143,7 @@ class EngineStats:
         self.dedup_merged += other.dedup_merged
         self.dedup_unknown += other.dedup_unknown
         self.dedup_time += other.dedup_time
+        self.stages.extend(other.stages)
 
 
 def mark_truncated(stats: EngineStats, cause: str) -> None:

@@ -19,11 +19,18 @@ Encoding all of V would be wasteful, so a subset of failing + passing
 vectors constrains the CNF and every SAT answer is then *verified by
 simulation* against the full vector set — candidates that only fit the
 subset are dropped (and their blocking clause keeps enumeration going).
+
+Setup (device simulation, V partition, constraint-vector choice) runs
+through the shared ``ingest``/``bitlists``/``rank-screen`` stages of
+:mod:`repro.diagnose.pipeline`; the enumeration is a
+:class:`SatSearchStrategy`, so ``result.stats.stages`` carries the same
+per-stage breakdown as the other modes.  Because each model is
+simulation-verified as soon as it is enumerated, the ``verify`` stage
+here is a summary record of that interleaved work.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..circuit.gatetypes import GateType
@@ -35,7 +42,11 @@ from ..sat.solver import SatSolver
 from ..sim.compare import equivalent
 from ..sim.logicsim import output_rows, simulate
 from ..sim.packing import PatternSet, WORD_BITS, bit_indices
-from .report import CorrectionRecord, Solution
+from . import clock
+from .bitlists import error_partition, reference_outputs
+from .config import DiagnosisConfig
+from .pipeline import DiagnosisSession, SearchStrategy, TraceWriter
+from .report import CorrectionRecord, EngineStats, Solution
 
 
 @dataclass
@@ -45,10 +56,41 @@ class SatDiagnosisResult:
     verified: int = 0           # candidates surviving full-V simulation
     total_time: float = 0.0
     truncated: bool = False
+    #: pipeline stats (stage records, truncation) of the run; kept
+    #: optional so pickled pre-refactor results still load.
+    stats: EngineStats | None = None
 
     @property
     def found(self) -> bool:
         return bool(self.solutions)
+
+
+class SatSearchStrategy(SearchStrategy):
+    """Selector-variable enumeration with interleaved verification.
+
+    One ``search`` stage record per target cardinality; the solver's
+    models are verified against the full V as they stream out, so the
+    enumeration and verification costs share the stage.
+    """
+
+    name = "sat"
+
+    def search(self, session: DiagnosisSession,
+               diag) -> SatDiagnosisResult:
+        result = SatDiagnosisResult()
+        for target in range(1, diag.max_faults + 1):
+            candidates_before = result.sat_candidates
+            with session.stage("search", target=target,
+                               items_in=len(diag.suspects)) as rec:
+                diag._enumerate(target, result, session.deadline)
+                rec.items_out = (result.sat_candidates
+                                 - candidates_before)
+                rec.info = {"verified": result.verified,
+                            "solutions": len(result.solutions),
+                            "truncated": result.truncated}
+            if result.solutions or result.truncated:
+                break
+        return result
 
 
 class SatDiagnoser:
@@ -59,30 +101,48 @@ class SatDiagnoser:
                  max_constraint_vectors: int = 24,
                  max_solutions: int = 64,
                  time_budget: float | None = 60.0,
-                 suspects: list | None = None):
+                 suspects: list | None = None,
+                 config: DiagnosisConfig | None = None,
+                 trace: TraceWriter | None = None):
+        if config is not None:
+            config.validate()
         self.device = device
         self.good = good
         self.patterns = patterns
         self.max_faults = max_faults
         self.max_solutions = max_solutions
         self.time_budget = time_budget
-        self.table = LineTable(good)
-        self.suspects = (list(suspects) if suspects is not None
-                         else [line.index for line in self.table])
-        self.device_out = output_rows(device,
-                                      simulate(device, patterns))
-        self.good_values = simulate(good, patterns)
-        self.good_out = output_rows(good, self.good_values)
-        self._constraint_vectors = self._pick_vectors(
-            max_constraint_vectors)
+        self.session = DiagnosisSession(config or DiagnosisConfig(),
+                                        trace=trace)
+        with self.session.stage("ingest",
+                                items_in=patterns.nbits) as rec:
+            self.table = LineTable(good)
+            self.suspects = (list(suspects) if suspects is not None
+                             else [line.index for line in self.table])
+            self.device_out = reference_outputs(device, patterns)
+            self.good_values = simulate(good, patterns)
+            self.good_out = output_rows(good, self.good_values)
+            rec.items_out = len(self.suspects)
+            rec.info = {"suspects": len(self.suspects),
+                        "vectors": patterns.nbits}
+        with self.session.stage("bitlists",
+                                items_in=patterns.nbits) as rec:
+            _diff, self._err_mask, self._num_err = error_partition(
+                self.device_out, self.good_out, patterns.nbits)
+            rec.items_out = self._num_err
+            rec.info = {"num_err": self._num_err}
+        with self.session.stage("rank-screen",
+                                items_in=patterns.nbits) as rec:
+            self._constraint_vectors = self._pick_vectors(
+                max_constraint_vectors)
+            rec.items_out = len(self._constraint_vectors)
+            rec.info = {"failing_chosen": min(
+                self._num_err, max(1, max_constraint_vectors // 2))}
+        self.session.freeze_setup()
 
     # ------------------------------------------------------------------
     def _pick_vectors(self, cap: int) -> list[int]:
-        from ..sim.compare import failing_vector_mask
-
-        fail = failing_vector_mask(self.device_out, self.good_out,
-                                   self.patterns.nbits)
-        failing = bit_indices(fail, self.patterns.nbits)
+        failing = bit_indices(self._err_mask, self.patterns.nbits)
         passing = [v for v in range(self.patterns.nbits)
                    if v not in set(failing)]
         half = max(1, cap // 2)
@@ -177,42 +237,63 @@ class SatDiagnoser:
             return Solution(tuple(records), candidate)
         return None
 
-    def run(self) -> SatDiagnosisResult:
-        result = SatDiagnosisResult()
-        t0 = time.perf_counter()
-        deadline = t0 + self.time_budget if self.time_budget else None
-        for target in range(1, self.max_faults + 1):
-            builder, sel = self._encode()
-            all_selectors = [v for pair in sel.values() for v in pair]
-            builder.at_most_k(all_selectors, target)
-            builder.at_least_one(all_selectors)
-            solver = builder.solver
-            while len(result.solutions) < self.max_solutions:
-                if deadline and time.perf_counter() > deadline:
-                    result.truncated = True
-                    break
-                status = solver.solve()
-                if status is not True:
-                    break
-                model = solver.model()
-                picks = []
-                active = []
-                for line_index, (s0, s1) in sel.items():
-                    if model.get(s0):
-                        picks.append((line_index, 0))
-                        active.append(s0)
-                    if model.get(s1):
-                        picks.append((line_index, 1))
-                        active.append(s1)
-                result.sat_candidates += 1
-                solver.block(active)
-                solution = self._verify(picks)
-                if solution is not None:
-                    keys = {s.key for s in result.solutions}
-                    if solution.key not in keys:
-                        result.verified += 1
-                        result.solutions.append(solution)
-            if result.solutions or result.truncated:
+    def _enumerate(self, target: int, result: SatDiagnosisResult,
+                   deadline: float | None) -> None:
+        """Enumerate and verify the models at one target cardinality."""
+        builder, sel = self._encode()
+        all_selectors = [v for pair in sel.values() for v in pair]
+        builder.at_most_k(all_selectors, target)
+        builder.at_least_one(all_selectors)
+        solver = builder.solver
+        while len(result.solutions) < self.max_solutions:
+            if clock.expired(deadline):
+                result.truncated = True
                 break
-        result.total_time = time.perf_counter() - t0
+            status = solver.solve()
+            if status is not True:
+                break
+            model = solver.model()
+            picks = []
+            active = []
+            for line_index, (s0, s1) in sel.items():
+                if model.get(s0):
+                    picks.append((line_index, 0))
+                    active.append(s0)
+                if model.get(s1):
+                    picks.append((line_index, 1))
+                    active.append(s1)
+            result.sat_candidates += 1
+            solver.block(active)
+            solution = self._verify(picks)
+            if solution is not None:
+                keys = {s.key for s in result.solutions}
+                if solution.key not in keys:
+                    result.verified += 1
+                    result.solutions.append(solution)
+
+    def run(self) -> SatDiagnosisResult:
+        session = self.session
+        t0 = clock.now()
+        stats = session.begin_run(
+            time_budget=self.time_budget, mode="sat",
+            vectors=self.patterns.nbits,
+            initial_failing=self._num_err)
+        result = SatSearchStrategy().search(session, self)
+        result.stats = stats
+        with session.stage("verify",
+                           items_in=result.sat_candidates) as rec:
+            rec.items_out = result.verified
+            rec.info = {"method": "full-V simulation",
+                        "interleaved": True}
+        with session.stage("report",
+                           items_in=len(result.solutions)) as rec:
+            rec.items_out = len(result.solutions)
+        result.total_time = clock.now() - t0
+        stats.total_time = result.total_time
+        stats.truncated = stats.truncated or result.truncated
+        session.end_run(found=result.found,
+                        solutions=len(result.solutions),
+                        nodes=result.sat_candidates,
+                        truncated=result.truncated,
+                        total_s=result.total_time)
         return result

@@ -13,22 +13,29 @@ bit-list screening of the combinational engine:
   cone propagation;
 * iterative deepening on the number of faults, exactly like the exact
   combinational protocol.
+
+The unroll/simulate/partition setup runs through the shared
+``ingest``/``bitlists`` stages of :mod:`repro.diagnose.pipeline` and
+the search is a :class:`TimeFrameStrategy`, so per-stage records land
+in ``EngineStats.stages`` exactly like the combinational modes.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..circuit.lines import LineTable
 from ..circuit.netlist import Netlist
-from ..circuit.unroll import unroll
 from ..errors import DiagnosisError
-from ..sim.compare import masked
-from ..sim.logicsim import output_rows, propagate, simulate
+from ..circuit.unroll import unroll
+from ..sim.logicsim import propagate, simulate
 from ..sim.packing import popcount
+from . import clock
+from .bitlists import error_partition, reference_outputs
+from .config import DiagnosisConfig
+from .pipeline import DiagnosisSession, SearchStrategy, TraceWriter
 from .report import CorrectionRecord, EngineStats, Solution
 from .screening import theorem1_bound
 
@@ -65,6 +72,71 @@ class _JointState:
     forced: dict = field(default_factory=dict)  # line_index -> value
 
 
+class TimeFrameStrategy(SearchStrategy):
+    """Joint stuck-at search over the unrolled model (§4).
+
+    Iterative deepening on joint-fault cardinality; every target level
+    is one ``search`` stage record.  Path trace has no sequential
+    analogue here — candidate lines are excitation-screened directly —
+    and the reset-masking pre-screen is computed once at ingest, so
+    those stages appear in the setup records, not per target.
+    """
+
+    name = "time-frame"
+
+    def search(self, session: DiagnosisSession, diag) -> dict:
+        stats = session.stats
+        solutions: dict = {}
+        budget = [diag.max_nodes]
+
+        def dfs(state: _JointState, applied: tuple,
+                target: int) -> None:
+            remaining = target - len(applied)
+            bound = theorem1_bound(state.num_err, remaining)
+            candidates = []
+            for line in diag.table:
+                if line.index in state.forced:
+                    continue
+                if line.index in diag._masked_lines:
+                    stats.prescreen_dropped += 1
+                    continue
+                for value in (0, 1):
+                    delta = diag._joint_delta(state, line.index, value)
+                    excited = popcount(delta & state.err_mask)
+                    if excited >= max(1, bound):
+                        candidates.append((excited, line.index, value))
+            candidates.sort(key=lambda c: -c[0])
+            for _excited, line_index, value in candidates:
+                if budget[0] <= 0 or session.expired():
+                    stats.truncated = True
+                    return
+                budget[0] -= 1
+                child = diag._apply_joint(state, line_index, value)
+                stats.nodes += 1
+                site = diag.table.describe(line_index)
+                record = CorrectionRecord(f"sa{value}@{site}",
+                                          f"sa{value}", site)
+                child_applied = applied + (record,)
+                if child.num_err == 0:
+                    key = frozenset(r.signature for r in child_applied)
+                    solutions.setdefault(key, Solution(child_applied))
+                elif len(child_applied) < target:
+                    dfs(child, child_applied, target)
+
+        for target in range(1, diag.max_faults + 1):
+            nodes_before = stats.nodes
+            with session.stage("search", target=target,
+                               items_in=len(diag.table)) as rec:
+                dfs(diag._root, (), target)
+                rec.items_out = len(solutions)
+                rec.info = {"nodes": stats.nodes - nodes_before,
+                            "budget_left": budget[0],
+                            "truncated": stats.truncated}
+            if solutions:
+                break
+        return solutions
+
+
 class TimeFrameDiagnoser:
     """Diagnose stuck-at faults in a non-scan sequential circuit.
 
@@ -83,46 +155,70 @@ class TimeFrameDiagnoser:
             proves masked from reset are never tried as suspects (each
             is a proven whole-run no-op on every primary output); every
             skip is counted in ``stats.prescreen_dropped``.
+        trace: optional :class:`~repro.diagnose.pipeline.TraceWriter`
+            mirroring the stage records as JSONL events.
     """
 
     def __init__(self, spec: Netlist, device: Netlist, sequences,
                  frames: int = 8, max_faults: int = 2,
                  max_nodes: int = 2000,
                  time_budget: float | None = 60.0,
-                 initial_state=0, config=None):
+                 initial_state=0, config=None,
+                 trace: TraceWriter | None = None):
         if spec.is_combinational:
             raise DiagnosisError(
                 "time-frame diagnosis is for sequential circuits; use "
                 "IncrementalDiagnoser for combinational ones")
         from ..circuit.unroll import pack_sequences
 
+        if config is not None:
+            config.validate(sequential=True)
         self.spec = spec
         self.frames = frames
         self.max_faults = max_faults
         self.max_nodes = max_nodes
         self.time_budget = time_budget
-        self.table = LineTable(spec)
-        self.model, self.umap = unroll(spec, frames,
-                                       initial_state=initial_state)
-        device_model, _ = unroll(device, frames,
-                                 initial_state=initial_state)
-        self.patterns = pack_sequences(spec, self.umap, sequences)
-        self.device_out = output_rows(
-            device_model, simulate(device_model, self.patterns))
-        self._line_instances = self._map_lines()
-        self._masked_lines: frozenset = frozenset()
-        if config is not None and config.seq_prescreen:
-            from ..analyze.seq import seq_masked_signals
+        self.session = DiagnosisSession(config or DiagnosisConfig(),
+                                        trace=trace)
+        with self.session.stage("ingest") as rec:
+            self.table = LineTable(spec)
+            self.model, self.umap = unroll(spec, frames,
+                                           initial_state=initial_state)
+            device_model, _ = unroll(device, frames,
+                                     initial_state=initial_state)
+            self.patterns = pack_sequences(spec, self.umap, sequences)
+            self.device_out = reference_outputs(device_model,
+                                                self.patterns)
+            self._line_instances = self._map_lines()
+            rec.items_in = self.patterns.nbits
+            rec.items_out = len(self.device_out)
+            rec.info = {"frames": frames,
+                        "sequences": self.patterns.nbits,
+                        "unrolled_gates": len(self.model.gates)}
+        with self.session.stage("bitlists",
+                                items_in=self.patterns.nbits) as rec:
+            self._root = self._state_from_values(
+                simulate(self.model, self.patterns), {})
+            rec.items_out = self._root.num_err
+            rec.info = {"num_err": self._root.num_err}
+        with self.session.stage("prescreen",
+                                items_in=len(self.table)) as rec:
+            self._masked_lines: frozenset = frozenset()
+            enabled = config is not None and config.seq_prescreen
+            if enabled:
+                from ..analyze.seq import seq_masked_signals
 
-            masked = seq_masked_signals(spec, initial_state)
-            # A branch fault's effect cone is contained in its stem's,
-            # so one masked driver disposes of the stem and every
-            # branch line it feeds.
-            self._masked_lines = frozenset(
-                line.index for line in self.table
-                if line.driver in masked)
-        self._root = self._state_from_values(
-            simulate(self.model, self.patterns), {})
+                masked = seq_masked_signals(spec, initial_state)
+                # A branch fault's effect cone is contained in its
+                # stem's, so one masked driver disposes of the stem and
+                # every branch line it feeds.
+                self._masked_lines = frozenset(
+                    line.index for line in self.table
+                    if line.driver in masked)
+            rec.items_out = len(self.table) - len(self._masked_lines)
+            rec.info = {"enabled": enabled,
+                        "masked_lines": len(self._masked_lines)}
+        self.session.freeze_setup()
 
     # ------------------------------------------------------------------
     def _map_lines(self) -> dict:
@@ -167,9 +263,9 @@ class TimeFrameDiagnoser:
     def _state_from_values(self, values: np.ndarray,
                            forced: dict) -> _JointState:
         out = values[self.model.outputs]
-        diff = masked(out ^ self.device_out, self.patterns.nbits)
-        err = np.bitwise_or.reduce(diff, axis=0)
-        return _JointState(values, err, popcount(err), dict(forced))
+        _diff, err, num_err = error_partition(out, self.device_out,
+                                              self.patterns.nbits)
+        return _JointState(values, err, num_err, dict(forced))
 
     def _joint_delta(self, state: _JointState, line_index: int,
                      value: int) -> np.ndarray:
@@ -218,57 +314,28 @@ class TimeFrameDiagnoser:
 
     # ------------------------------------------------------------------
     def run(self) -> TimeFrameResult:
-        stats = EngineStats()
-        t0 = time.perf_counter()
-        deadline = t0 + self.time_budget if self.time_budget else None
+        session = self.session
+        t0 = clock.now()
+        stats = session.begin_run(
+            time_budget=self.time_budget, mode="time-frame",
+            frames=self.frames, vectors=self.patterns.nbits,
+            initial_failing=self._root.num_err)
         solutions: dict = {}
-        if self._root.num_err == 0:
-            stats.total_time = time.perf_counter() - t0
-            return TimeFrameResult([], stats, self.frames,
-                                   self.patterns.nbits)
-        budget = [self.max_nodes]
-
-        def dfs(state: _JointState, applied: tuple, target: int) -> None:
-            remaining = target - len(applied)
-            bound = theorem1_bound(state.num_err, remaining)
-            candidates = []
-            for line in self.table:
-                if line.index in state.forced:
-                    continue
-                if line.index in self._masked_lines:
-                    stats.prescreen_dropped += 1
-                    continue
-                for value in (0, 1):
-                    delta = self._joint_delta(state, line.index, value)
-                    excited = popcount(delta & state.err_mask)
-                    if excited >= max(1, bound):
-                        candidates.append((excited, line.index, value))
-            candidates.sort(key=lambda c: -c[0])
-            for _excited, line_index, value in candidates:
-                if budget[0] <= 0 or (deadline and
-                                      time.perf_counter() > deadline):
-                    stats.truncated = True
-                    return
-                budget[0] -= 1
-                child = self._apply_joint(state, line_index, value)
-                stats.nodes += 1
-                site = self.table.describe(line_index)
-                record = CorrectionRecord(f"sa{value}@{site}",
-                                          f"sa{value}", site)
-                child_applied = applied + (record,)
-                if child.num_err == 0:
-                    key = frozenset(r.signature for r in child_applied)
-                    solutions.setdefault(key, Solution(child_applied))
-                elif len(child_applied) < target:
-                    dfs(child, child_applied, target)
-
-        for target in range(1, self.max_faults + 1):
-            dfs(self._root, (), target)
-            if solutions:
-                break
-        stats.total_time = time.perf_counter() - t0
-        return TimeFrameResult(list(solutions.values()), stats,
-                               self.frames, self.patterns.nbits)
+        if self._root.num_err != 0:
+            solutions = TimeFrameStrategy().search(session, self)
+        with session.stage("verify", items_in=len(solutions)) as rec:
+            rec.items_out = len(solutions)
+            rec.info = {"method": "constructive"}
+        with session.stage("report", items_in=len(solutions)) as rec:
+            result = TimeFrameResult(list(solutions.values()), stats,
+                                     self.frames, self.patterns.nbits)
+            rec.items_out = len(result.solutions)
+        stats.total_time = clock.now() - t0
+        session.end_run(found=result.found,
+                        solutions=len(result.solutions),
+                        nodes=stats.nodes, truncated=stats.truncated,
+                        total_s=stats.total_time)
+        return result
 
 
 def random_sequences(netlist: Netlist, count: int, frames: int,

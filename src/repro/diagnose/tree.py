@@ -17,11 +17,11 @@ perfect binary tree (tested against the figure).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from ..analyze.invariants import InvariantChecker
 from ..faults.models import apply_correction
+from . import clock
 from .bitlists import DiagnosisState
 from .candidates import corrections_for_line, is_correctable_line
 from .config import DiagnosisConfig, HLevel
@@ -118,7 +118,7 @@ class DecisionTree:
         """Fill a node's ranked pending-correction list."""
         state = node.state
         config = self.config
-        t0 = time.perf_counter()
+        t0 = clock.now()
         # Per-node seed: reusing config.seed verbatim would correlate
         # the sampled path-trace across the whole search (see
         # pathtrace.derive_seed).
@@ -136,7 +136,7 @@ class DecisionTree:
         potentials = rank_lines(state, candidate_lines, self.h.h1)
         if self.invariants:
             self.invariants.check_lines_live(state, candidate_lines)
-        t1 = time.perf_counter()
+        t1 = clock.now()
         self.stats.diag_time += t1 - t0
         required = max(1, int(self.h.h2 * state.num_err))
         screened: list[ScreenedCorrection] = []
@@ -148,13 +148,13 @@ class DecisionTree:
         node.pending = [sc for _rank, sc in
                         ranked[: config.corrections_per_node]]
         node.next_rank = 0
-        self.stats.corr_time += time.perf_counter() - t1
+        self.stats.corr_time += clock.now() - t1
 
     # ------------------------------------------------------------------
     def apply(self, node: Node, sc: ScreenedCorrection,
               round_no: int, rank_position: int) -> Node:
         """Create the child node reached by applying one correction."""
-        t0 = time.perf_counter()
+        t0 = clock.now()
         state = node.state
         signature = sc.correction.describe(state.netlist, state.table)
         site = state.table.describe(sc.correction.line)
@@ -171,7 +171,7 @@ class DecisionTree:
                                      state.spec_out)
         if self.invariants:
             self.invariants.check_state(child_state)
-        self.stats.apply_time += time.perf_counter() - t0
+        self.stats.apply_time += clock.now() - t0
         self.stats.nodes += 1
         return Node(child_state, node.depth + 1,
                     node.applied + (record,))
@@ -196,7 +196,7 @@ class DecisionTree:
         if self.stats.nodes >= self.config.max_nodes:
             mark_truncated(self.stats, "node-budget")
             return True
-        if self.deadline is not None and time.perf_counter() > self.deadline:
+        if self.deadline is not None and clock.now() > self.deadline:
             mark_truncated(self.stats, "time-budget")
             return True
         return False

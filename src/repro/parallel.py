@@ -38,6 +38,16 @@ silently dropped solution.  Shards check their deadline at every tree
 node, so a deadline-expired worker reports its partial result within
 one node expansion; :data:`DEADLINE_GRACE` bounds how long the
 scheduler waits for that report before writing the shard off.
+
+**Pluggable executor.**  :func:`run_shards` is the *default* executor
+of the staged pipeline's search stage
+(:class:`repro.diagnose.pipeline.DiagnosisSession`); any callable with
+its signature — ``(tasks, jobs, payload=..., context=None,
+wall_deadline=None) -> list[ShardResult]`` in plan order — can replace
+it per session.  Deadlines cross the process boundary as epoch
+timestamps (``time.time``), the one place the diagnose stack uses
+wall-clock: ``perf_counter`` values are not comparable between
+processes (see :mod:`repro.diagnose.clock`).
 """
 
 from __future__ import annotations
